@@ -1,0 +1,76 @@
+//! Costs of the formal-semantics machinery: FSG construction and
+//! polygraph acyclicity solving (exponential in bipaths in the worst case;
+//! these benches show the practical range).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtf_fsg::{build_fsg, History, Semantics, Var};
+
+/// A single-top history with `futures` evaluated futures touching
+/// disjoint variables (no conflicts): `futures` bipaths, trivially
+/// satisfiable.
+fn disjoint_history(futures: usize) -> History {
+    let mut h = History::new();
+    let t = h.begin_top();
+    let mut fs = Vec::new();
+    for i in 0..futures {
+        let f = h.submit(t);
+        h.read(f, Var(i as u32));
+        h.write(f, Var(i as u32));
+        h.commit(f);
+        fs.push(f);
+    }
+    for f in fs {
+        h.evaluate(t, f);
+    }
+    h.commit(t);
+    h
+}
+
+/// Conflicting history: every future reads/writes the same variable as
+/// the continuation — bipath choices interact.
+fn conflicting_history(futures: usize) -> History {
+    let mut h = History::new();
+    let t = h.begin_top();
+    let x = Var(0);
+    h.write(t, x);
+    let mut fs = Vec::new();
+    for _ in 0..futures {
+        let f = h.submit(t);
+        h.read_observing(f, x, t);
+        h.commit(f);
+        fs.push(f);
+    }
+    for f in fs {
+        h.evaluate(t, f);
+    }
+    h.commit(t);
+    h
+}
+
+fn bench_fsg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fsg");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &n in &[4usize, 8, 12] {
+        let disjoint = disjoint_history(n);
+        g.bench_function(format!("build_{n}_futures"), |b| {
+            b.iter(|| black_box(build_fsg(&disjoint, Semantics::WO_GAC)))
+        });
+        g.bench_function(format!("solve_disjoint_{n}"), |b| {
+            let fsg = build_fsg(&disjoint, Semantics::WO_GAC);
+            b.iter(|| black_box(fsg.acceptable()))
+        });
+        let conflicting = conflicting_history(n);
+        g.bench_function(format!("solve_conflicting_{n}"), |b| {
+            let fsg = build_fsg(&conflicting, Semantics::WO_GAC);
+            b.iter(|| black_box(fsg.acceptable()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fsg);
+criterion_main!(benches);

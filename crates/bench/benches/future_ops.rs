@@ -1,0 +1,100 @@
+//! Future lifecycle costs: submit, evaluate, serialization paths, and the
+//! read-path overhead of futures-aware contexts vs plain transactions
+//! (the inherent WO bookkeeping measured in §5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtf_core::{FutureTm, Semantics};
+
+fn bench_futures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("future");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    let tm = FutureTm::builder()
+        .semantics(Semantics::WO_GAC)
+        .workers(8)
+        .build();
+    let boxes: Vec<_> = (0..256).map(|i| tm.new_vbox(i as i64)).collect();
+
+    g.bench_function("submit_evaluate_roundtrip", |b| {
+        let x = boxes[0].clone();
+        b.iter(|| {
+            let x = x.clone();
+            tm.atomic(move |ctx| {
+                let x2 = x.clone();
+                let f = ctx.submit(move |c| c.read(&x2))?;
+                ctx.evaluate(&f)
+            })
+            .unwrap()
+        })
+    });
+
+    g.bench_function("ctx_read_100_no_futures", |b| {
+        let boxes = boxes.clone();
+        b.iter(|| {
+            let boxes = boxes.clone();
+            tm.atomic(move |ctx| {
+                let mut acc = 0i64;
+                for i in 0..100 {
+                    acc += ctx.read(&boxes[(i * 37) % 256])?;
+                }
+                Ok(black_box(acc))
+            })
+            .unwrap()
+        })
+    });
+
+    // Ancestor-view cache ablation: reads inside a deep continuation chain
+    // (each step adds a node, so the view must overlay more ancestors).
+    g.bench_function("ctx_read_deep_chain", |b| {
+        let boxes = boxes.clone();
+        b.iter(|| {
+            let boxes = boxes.clone();
+            tm.atomic(move |ctx| {
+                for d in 0..8 {
+                    let b2 = boxes[d].clone();
+                    ctx.step(move |c| {
+                        let v = c.read(&b2)?;
+                        c.write(&b2, v + 1)
+                    })?;
+                }
+                // Reads now overlay 8 iCommitted segments.
+                let mut acc = 0i64;
+                for i in 0..50 {
+                    acc += ctx.read(&boxes[(i * 13) % 256])?;
+                }
+                Ok(black_box(acc))
+            })
+            .unwrap()
+        })
+    });
+
+    g.bench_function("fanout_8_futures", |b| {
+        let boxes = boxes.clone();
+        b.iter(|| {
+            let boxes = boxes.clone();
+            tm.atomic(move |ctx| {
+                let futs: Vec<_> = (0..8)
+                    .map(|i| {
+                        let b2 = boxes[i].clone();
+                        ctx.submit(move |c| c.read(&b2))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut acc = 0i64;
+                for f in &futs {
+                    acc += ctx.evaluate(f)?;
+                }
+                Ok(black_box(acc))
+            })
+            .unwrap()
+        })
+    });
+
+    g.finish();
+    tm.shutdown();
+}
+
+criterion_group!(benches, bench_futures);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Costs of manipulating the dependency graph **G** — the overhead §5.2
+//! attributes to "synchronizing the manipulations of the graph structure".
+//!
+//! Includes the DESIGN.md ablation: snapshot-Arc reads (our safe-Rust
+//! analogue of the paper's lock-free stamped traversal) vs traversing
+//! under the write lock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtf_core::internals::{Graph, NodeStatus};
+
+/// Builds a spawn-chain graph with `futures` future/continuation pairs.
+fn chain_graph(futures: usize) -> Graph {
+    let g = Graph::with_root();
+    let mut cur = 0;
+    for _ in 0..futures {
+        let (f, c) = g.update(|gi| {
+            gi.set_status(cur, NodeStatus::ICommitted);
+            let f = gi.add_node(NodeStatus::ICommitted, &[cur]);
+            let c = gi.add_node(NodeStatus::Active, &[cur]);
+            gi.add_edge(f, c); // serialized at submission
+            (f, c)
+        });
+        let _ = f;
+        cur = c;
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("graph");
+    grp.sample_size(30);
+    grp.measurement_time(std::time::Duration::from_secs(2));
+    grp.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &n in &[8usize, 32, 128] {
+        let g = chain_graph(n);
+        let last = {
+            let (_, gi) = g.snapshot();
+            gi.len() - 1
+        };
+        grp.bench_function(format!("snapshot_clone_{n}"), |b| {
+            b.iter(|| black_box(g.snapshot()))
+        });
+        grp.bench_function(format!("ancestors_{n}"), |b| {
+            let (_, gi) = g.snapshot();
+            b.iter(|| black_box(gi.ancestors(last)))
+        });
+        grp.bench_function(format!("reachable_{n}"), |b| {
+            let (_, gi) = g.snapshot();
+            b.iter(|| black_box(gi.reachable_from(0)))
+        });
+        grp.bench_function(format!("backward_chain_{n}"), |b| {
+            let (_, gi) = g.snapshot();
+            b.iter(|| black_box(gi.backward_chain(last, 0)))
+        });
+        grp.bench_function(format!("cow_update_{n}"), |b| {
+            b.iter(|| {
+                g.update(|gi| gi.set_status(0, NodeStatus::ICommitted));
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

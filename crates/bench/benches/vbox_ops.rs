@@ -1,0 +1,90 @@
+//! Per-operation costs of the multi-versioned substrate (real time).
+//!
+//! Includes the version-GC ablation called out in DESIGN.md: commits with
+//! GC on vs off (off lets chains grow, making snapshot reads walk).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wtf_mvstm::{raw, Stm, VBox};
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vbox");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    let stm = Stm::new();
+    let boxes: Vec<VBox<i64>> = (0..1024).map(|i| VBox::new(&stm, i as i64)).collect();
+
+    g.bench_function("txn_read_100", |b| {
+        b.iter(|| {
+            stm.atomic(|tx| {
+                let mut acc = 0i64;
+                for i in 0..100 {
+                    acc += tx.read(&boxes[(i * 37) % 1024])?;
+                }
+                Ok(black_box(acc))
+            })
+            .unwrap()
+        })
+    });
+
+    g.bench_function("txn_write_commit_10", |b| {
+        b.iter(|| {
+            stm.atomic(|tx| {
+                for i in 0..10 {
+                    tx.write(&boxes[(i * 91) % 1024], i as i64)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+
+    g.bench_function("read_only_commit", |b| {
+        b.iter(|| stm.atomic(|tx| tx.read(&boxes[7])).unwrap())
+    });
+
+    g.bench_function("raw_read_at", |b| {
+        let body = raw::body_of(&boxes[0]);
+        let snap = raw::acquire_snapshot(&stm);
+        b.iter(|| black_box(raw::read_at(&body, snap.version())))
+    });
+
+    // GC ablation: long version chains (GC off) vs pruned chains (GC on).
+    g.bench_function("versioned_read_gc_on", |b| {
+        let stm = Stm::new();
+        let x = VBox::new(&stm, 0i64);
+        for i in 0..256 {
+            stm.atomic(|tx| tx.write(&x, i)).unwrap();
+        }
+        assert_eq!(x.version_chain_len(), 1);
+        b.iter(|| black_box(x.read_latest()))
+    });
+    g.bench_function("versioned_read_gc_off_deep_chain", |b| {
+        let stm = Stm::new();
+        stm.set_gc_enabled(false);
+        let x = VBox::new(&stm, 0i64);
+        let pin = raw::acquire_snapshot(&stm); // pin so chains keep length
+        for i in 0..256 {
+            stm.atomic(|tx| tx.write(&x, i)).unwrap();
+        }
+        assert!(x.version_chain_len() > 200);
+        // Reading at the pinned snapshot walks the whole chain.
+        let body = raw::body_of(&x);
+        b.iter(|| black_box(raw::read_at(&body, pin.version())));
+        drop(pin);
+    });
+
+    g.bench_function("begin_snapshot", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(raw::acquire_snapshot(&stm)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 6 (left): when does (WO) future-based parallelization pay off?
+//!
+//! Read-only workload: 2 top-level transactions each parallelized with 16
+//! futures, against the throughput of 2 top-level threads without
+//! parallelization (non-transactional, i.e. no concurrency control at
+//! all). X-axis: transaction length (total reads); series: `iter`
+//! (CPU-bound spin between accesses) × {NT futures, WTF futures}.
+//!
+//! Expected shape (paper §5.1): near-ideal speedups once transactions are
+//! long *and* CPU-bound (`iter >= 1000`); a fully memory-bound workload
+//! (`iter = 0`) gains nothing because the memory bus is the bottleneck;
+//! and WTF tracks the NT futures closely (the WO bookkeeping is not the
+//! limiter).
+
+use wtf_bench::{f3, print_scaling_note, table_header, table_row};
+use wtf_workloads::synthetic::{read_only, read_only_nt, SyntheticConfig};
+
+const CLIENTS: usize = 2;
+const FUTURES: usize = 16;
+
+fn cfg(total_reads: usize, iter: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        array_size: 1 << 14,
+        reads_per_task: (total_reads / FUTURES).max(1),
+        iter,
+        hot_spots: 0,
+        writes_per_task: 0,
+        blind_writes: false,
+        tasks_per_tx: FUTURES,
+        txs_per_client: 1,
+        seed: 0x6a11,
+    }
+}
+
+fn main() {
+    print_scaling_note("Fig. 6 left (read-only speedup of futures)");
+    table_header(
+        "Fig 6 left: speedup vs 2 non-parallelized NT threads",
+        &["tx_length", "iter", "NT-futures", "WTF"],
+    );
+    let lengths = [10usize, 100, 1_000, 10_000, 100_000];
+    let iters = [0u64, 100, 1_000, 10_000, 100_000];
+    for &iter in &iters {
+        for &len in &lengths {
+            let c = cfg(len, iter);
+            let baseline = read_only_nt(&c, CLIENTS, false); // 2 threads, sequential
+            let nt = read_only_nt(&c, CLIENTS, true); // 2 x 16 NT futures
+            let wtf = read_only(&c, CLIENTS); // 2 x 16 WTF futures
+            table_row(&[
+                &len,
+                &iter,
+                &f3(nt.speedup_vs(&baseline)),
+                &f3(wtf.speedup_vs(&baseline)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 6 (right): overhead of WTF-TM with respect to JTF.
+//!
+//! Conflict-prone workload where WO can neither avoid aborts nor
+//! stragglers: each future performs uniform reads over the array followed
+//! by hot-spot updates (20 hot spots), `iter = 1k`. A fixed budget of 48
+//! threads is split into `tops x futures`; throughput is normalized to 48
+//! plain top-level transactions (JVSTM).
+//!
+//! Expected shape: WTF ≈ JTF across all splits (the graph bookkeeping is
+//! cheap), both well above JVSTM; WTF's worst case is the deepest
+//! intra-transaction parallelism (2x24) at short lengths — graph
+//! synchronization cost, exactly the paper's observation.
+
+use wtf_bench::{f3, print_scaling_note, table_header, table_row};
+use wtf_core::Semantics;
+use wtf_workloads::synthetic::{contended, toplevel_run, SyntheticConfig};
+
+const BUDGET: usize = 48;
+
+fn cfg(reads_per_task: usize, tasks_per_tx: usize, txs_per_client: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        array_size: 1 << 14,
+        reads_per_task,
+        iter: 1_000,
+        hot_spots: 20,
+        writes_per_task: 10,
+        blind_writes: false,
+        tasks_per_tx,
+        txs_per_client,
+        seed: 0x6b22,
+    }
+}
+
+fn main() {
+    print_scaling_note("Fig. 6 right (WTF vs JTF overhead, 48-thread splits)");
+    table_header(
+        "Fig 6 right: speedup vs 48 top-level (JVSTM)",
+        &["split(tops x futures)", "reads_per_future", "WTF", "JTF"],
+    );
+    let splits = [(24, 2), (12, 4), (6, 8), (4, 12), (2, 24)];
+    let lengths = [10usize, 100, 500, 2_000];
+    for &len in &lengths {
+        // Baseline: 48 concurrent top-level transactions executing the
+        // same transactions without intra-transaction parallelism.
+        // Total tasks matched across systems: 96 tasks.
+        let base_cfg = cfg(len, 2, 1);
+        let baseline = toplevel_run(&base_cfg, BUDGET, true);
+        for &(tops, futures) in &splits {
+            let txs = (96 / (tops * futures)).max(1);
+            let c = cfg(len, futures, txs);
+            let wtf = contended(&c, Semantics::WO_GAC, tops);
+            let jtf = contended(&c, Semantics::SO, tops);
+            table_row(&[
+                &format!("{tops}x{futures}"),
+                &len,
+                &f3(wtf.speedup_vs(&baseline)),
+                &f3(jtf.speedup_vs(&baseline)),
+            ]);
+        }
+    }
+}

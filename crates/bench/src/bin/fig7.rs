@@ -1,0 +1,81 @@
+//! Fig. 7: gains of WTF-TM when futures conflict with their continuations.
+//!
+//! Each future performs its reads then writes hot spots; each continuation
+//! reads a random hot spot before spawning the next future. Under SO (JTF)
+//! a future's at-submission serialization invalidates the continuation's
+//! read (internal abort + rollback); under WO the future simply serializes
+//! upon evaluation. JVSTM runs the same tasks as plain top-level
+//! transactions.
+//!
+//! Output: Fig. 7a (speedup vs sequential) and Fig. 7b (top-level abort
+//! rate for JVSTM, internal abort rate for JTF/WTF) in one table.
+//!
+//! Expected shape: WTF's throughput is insensitive to contention; JTF
+//! degrades as contention grows (internal aborts); JVSTM is worst (whole
+//! long transactions abort).
+
+use wtf_bench::{f3, print_scaling_note, table_header, table_row, PAPER_THREADS};
+use wtf_core::Semantics;
+use wtf_workloads::synthetic::{
+    conflict_prone, conflict_prone_sequential, conflict_prone_toplevel, ConflictConfig,
+};
+
+/// Total tasks per run, matched across systems and thread counts.
+const TOTAL_TASKS: usize = 112;
+
+fn cfg(hot_spots: usize, futures_per_tx: usize, txs_per_client: usize) -> ConflictConfig {
+    ConflictConfig {
+        array_size: 1 << 14,
+        reads_per_future: 200,
+        iter: 1_000,
+        hot_spots,
+        writes_per_future: 10,
+        futures_per_tx,
+        txs_per_client,
+        seed: 0x7a77,
+    }
+}
+
+fn main() {
+    print_scaling_note("Fig. 7 (future-vs-continuation conflicts)");
+    table_header(
+        "Fig 7a+7b: speedup vs sequential / abort rates",
+        &[
+            "contention",
+            "hot_spots",
+            "threads",
+            "WTF_speedup",
+            "JTF_speedup",
+            "JVSTM_speedup",
+            "JVSTM_top_abort_rate",
+            "JTF_internal_abort_rate",
+            "WTF_internal_abort_rate",
+        ],
+    );
+    for (label, hot_spots) in [("high", 100usize), ("medium", 1_000), ("low", 50_000)] {
+        // Sequential denominator: all tasks inline in one thread.
+        let seq = conflict_prone_sequential(&cfg(hot_spots, 8, TOTAL_TASKS / 8));
+        for &threads in &PAPER_THREADS {
+            let txs = (TOTAL_TASKS / threads).max(1);
+            // WTF / JTF: one client, `threads` concurrent futures per tx.
+            let c = cfg(hot_spots, threads, txs);
+            let wtf = conflict_prone(&c, Semantics::WO_GAC, 1);
+            let jtf = conflict_prone(&c, Semantics::SO, 1);
+            // JVSTM: `threads` concurrent clients each executing the same
+            // (unparallelized) long transactions.
+            let jc = cfg(hot_spots, threads, 1);
+            let jvstm = conflict_prone_toplevel(&jc, threads);
+            table_row(&[
+                &label,
+                &hot_spots,
+                &threads,
+                &f3(wtf.speedup_vs(&seq)),
+                &f3(jtf.speedup_vs(&seq)),
+                &f3(jvstm.speedup_vs(&seq)),
+                &f3(jvstm.top_abort_rate()),
+                &f3(jtf.internal_abort_rate()),
+                &f3(wtf.internal_abort_rate()),
+            ]);
+        }
+    }
+}

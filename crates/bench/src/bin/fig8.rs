@@ -1,0 +1,62 @@
+//! Fig. 8: the Bank benchmark — throughput and internal abort rate for
+//! 10% / 50% / 90% update mixes.
+//!
+//! Compares WTF-OutOfOrder (evaluate any completed future), WTF-InOrder
+//! (evaluate in spawn order) and JTF (SO, spawn-order commits), all
+//! normalized against a sequential replay. The long `getTotalAmount`
+//! scans straggle the short `transfer`s, which is where out-of-order
+//! evaluation pays (the paper: >2x in the 50%/90% mixes).
+
+use wtf_bench::{f3, print_scaling_note, table_header, table_row, PAPER_THREADS};
+use wtf_core::Semantics;
+use wtf_workloads::bank::{futures_replay, sequential_replay, BankConfig, EvalPolicy};
+
+fn cfg(update_percent: u64, concurrent_futures: usize) -> BankConfig {
+    BankConfig {
+        accounts: 1_000,
+        pairs_per_transfer: 10,
+        update_percent,
+        iter: 1_000,
+        chunk_size: 64,
+        chunks_per_client: 1,
+        concurrent_futures,
+        initial_balance: 1_000,
+        seed: 0x8a88,
+    }
+}
+
+fn main() {
+    print_scaling_note("Fig. 8 (Bank log replay)");
+    table_header(
+        "Fig 8: speedup vs sequential (top) and internal abort rate (bottom)",
+        &[
+            "update%",
+            "threads",
+            "WTF-OutOfOrder",
+            "WTF-InOrder",
+            "JTF",
+            "abort_WTF-OoO",
+            "abort_WTF-InO",
+            "abort_JTF",
+        ],
+    );
+    for update in [10u64, 50, 90] {
+        let seq = sequential_replay(&cfg(update, 1));
+        for &threads in &PAPER_THREADS {
+            let c = cfg(update, threads);
+            let ooo = futures_replay(&c, Semantics::WO_GAC, EvalPolicy::OutOfOrder, 1);
+            let ino = futures_replay(&c, Semantics::WO_GAC, EvalPolicy::InOrder, 1);
+            let jtf = futures_replay(&c, Semantics::SO, EvalPolicy::InOrder, 1);
+            table_row(&[
+                &update,
+                &threads,
+                &f3(ooo.speedup_vs(&seq)),
+                &f3(ino.speedup_vs(&seq)),
+                &f3(jtf.speedup_vs(&seq)),
+                &f3(ooo.internal_abort_rate()),
+                &f3(ino.internal_abort_rate()),
+                &f3(jtf.internal_abort_rate()),
+            ]);
+        }
+    }
+}

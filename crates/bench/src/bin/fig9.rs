@@ -1,0 +1,83 @@
+//! Fig. 9: the Vacation benchmark (STAMP) with transactional futures.
+//!
+//! `MakeReservation` lookups split across futures; 10% of futures suffer a
+//! remote-database delay right after beginning. The x-axis is the total
+//! degree of parallelism = top-level clients × futures in flight. WTF and
+//! JTF run with 1, 2 and 7 top-level clients; JVSTM uses the whole budget
+//! as concurrent top-level transactions. Speedups are against 1 top-level
+//! with no futures.
+//!
+//! Expected shape: WTF best (out-of-order streaming hides stragglers),
+//! JTF second (futures shorten transactions but commit in spawn order),
+//! JVSTM worst and abort-prone at high parallelism.
+
+use wtf_bench::{f3, print_scaling_note, table_header, table_row};
+use wtf_core::Semantics;
+use wtf_workloads::vacation::{
+    vacation_futures, vacation_sequential, vacation_toplevel, VacationConfig,
+};
+
+fn cfg(futures_per_tx: usize, txs_per_client: usize) -> VacationConfig {
+    VacationConfig {
+        relations: 128,
+        customers: 64,
+        queries_per_tx: 96,
+        chunks_per_tx: 24,
+        futures_per_tx,
+        user_percent: 98,
+        txs_per_client,
+        iter: 1_000,
+        straggler_per_mille: 100,
+        delay: 1_000_000,
+        seed: 0x9acc,
+    }
+}
+
+const TOTAL_TXS: usize = 28;
+
+fn main() {
+    print_scaling_note("Fig. 9 (Vacation / STAMP)");
+    table_header(
+        "Fig 9: speedup vs 1 sequential top-level + top-level abort rate",
+        &["system", "tops", "futures", "total_threads", "speedup", "top_abort_rate"],
+    );
+    let seq = vacation_sequential(&cfg(1, TOTAL_TXS));
+    // JVSTM: budget used entirely as top-level clients.
+    for threads in [1usize, 2, 7, 14, 28, 56] {
+        let txs = (TOTAL_TXS / threads).max(1);
+        let r = vacation_toplevel(&cfg(1, txs), threads);
+        table_row(&[
+            &"JVSTM",
+            &threads,
+            &1,
+            &threads,
+            &f3(r.speedup_vs(&seq)),
+            &f3(r.top_abort_rate()),
+        ]);
+    }
+    // WTF / JTF: 1, 2 and 7 top-level clients, rest of the budget as futures.
+    for tops in [1usize, 2, 7] {
+        for futures in [2usize, 4, 8] {
+            let total = tops * futures;
+            let txs = (TOTAL_TXS / tops).max(1);
+            let wtf = vacation_futures(&cfg(futures, txs), Semantics::WO_GAC, false, tops);
+            let jtf = vacation_futures(&cfg(futures, txs), Semantics::SO, true, tops);
+            table_row(&[
+                &"WTF",
+                &tops,
+                &futures,
+                &total,
+                &f3(wtf.speedup_vs(&seq)),
+                &f3(wtf.top_abort_rate()),
+            ]);
+            table_row(&[
+                &"JTF",
+                &tops,
+                &futures,
+                &total,
+                &f3(jtf.speedup_vs(&seq)),
+                &f3(jtf.top_abort_rate()),
+            ]);
+        }
+    }
+}

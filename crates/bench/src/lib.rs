@@ -1,0 +1,47 @@
+//! # wtf-bench — figure regeneration and micro-benchmarks
+//!
+//! One binary per figure of the paper's evaluation (§5):
+//!
+//! | binary | paper figure | what it prints |
+//! |---|---|---|
+//! | `fig3_stragglers` | Fig. 3 | per-future completion timeline, SO vs WO |
+//! | `fig6_left` | Fig. 6 (left) | read-only speedup vs 2 NT threads, by tx length × iter |
+//! | `fig6_right` | Fig. 6 (right) | contended speedup vs 48 top-levels, by split × length |
+//! | `fig7` | Fig. 7a/7b | speedup vs sequential + abort rates, by contention × threads |
+//! | `fig8` | Fig. 8 | Bank speedups + internal abort rates, by update% × threads |
+//! | `fig9` | Fig. 9 | Vacation speedups + top-level abort rates |
+//!
+//! All binaries run under the deterministic virtual clock, so their output
+//! is bit-reproducible. Parameters are scaled down from the paper's
+//! 56-core testbed sizes; the mapping is recorded in `EXPERIMENTS.md`.
+//! Criterion micro-benchmarks (`cargo bench`) measure real-time per-op
+//! costs of the substrate (versioned boxes, graph manipulation, future
+//! lifecycle, FSG solving).
+
+use std::fmt::Display;
+
+/// Prints a table header: `# <title>` followed by tab-separated columns.
+pub fn table_header(title: &str, columns: &[&str]) {
+    println!("# {title}");
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one tab-separated row.
+pub fn table_row(cells: &[&dyn Display]) {
+    let rendered: Vec<String> = cells.iter().map(|c| format!("{c}")).collect();
+    println!("{}", rendered.join("\t"));
+}
+
+/// Formats a speedup/rate to 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// The thread counts the paper sweeps in Figs. 7–9.
+pub const PAPER_THREADS: [usize; 5] = [4, 8, 14, 28, 56];
+
+/// Shared scaling note printed by every figure binary.
+pub fn print_scaling_note(figure: &str) {
+    println!("## {figure} — regenerated under the deterministic virtual clock");
+    println!("## (paper-scale parameters reduced; see EXPERIMENTS.md for the mapping)");
+}

@@ -1,0 +1,102 @@
+//! Runtime configuration: semantics selection and the virtual cost model.
+
+pub use wtf_fsg::{AtomicitySemantics, OrderingSemantics, Semantics};
+
+/// Virtual-time costs charged by the runtime, in clock units (1 unit ≈ one
+/// spin iteration ≈ 1 ns on the paper's 2 GHz Xeon).
+///
+/// The defaults are calibrated against the paper's Fig. 6 observations:
+///
+/// * a fully memory-bound workload (`iter = 0`) must not speed up with
+///   intra-transaction parallelism — so a transactional read costs about
+///   as much *memory-bus* time as CPU time;
+/// * future activation costs enough that transactions shorter than ~1k
+///   operations don't benefit from parallelization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// CPU cost of a transactional read (STM bookkeeping included).
+    pub read_cpu: u64,
+    /// Memory-bus share of a read: serialized across all threads.
+    pub read_mem: u64,
+    /// CPU cost of a transactional write (buffered, no bus traffic until
+    /// commit).
+    pub write_cpu: u64,
+    /// Bus share of publishing one write at commit.
+    pub write_mem: u64,
+    /// Submitter-side cost of spawning a future (task handoff, wakeup).
+    pub submit_cost: u64,
+    /// Cost of an evaluate call (synchronization with the future).
+    pub evaluate_cost: u64,
+    /// Fixed cost of a top-level commit (validation, clock bump).
+    pub commit_cost: u64,
+    /// Fixed per-transaction begin cost (snapshot acquisition).
+    pub begin_cost: u64,
+}
+
+impl CostModel {
+    /// The calibrated model used by the figure harnesses.
+    pub const CALIBRATED: CostModel = CostModel {
+        read_cpu: 30,
+        read_mem: 25,
+        write_cpu: 30,
+        write_mem: 25,
+        submit_cost: 2_000,
+        evaluate_cost: 500,
+        commit_cost: 500,
+        begin_cost: 200,
+    };
+
+    /// All-zero costs: for unit tests that exercise semantics, not timing.
+    pub const ZERO: CostModel = CostModel {
+        read_cpu: 0,
+        read_mem: 0,
+        write_cpu: 0,
+        write_mem: 0,
+        submit_cost: 0,
+        evaluate_cost: 0,
+        commit_cost: 0,
+        begin_cost: 0,
+    };
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ZERO
+    }
+}
+
+/// Full runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TmConfig {
+    pub semantics: Semantics,
+    pub costs: CostModel,
+    /// Model memory-bus contention with a shared virtual resource
+    /// (virtual-clock mode only).
+    pub model_memory_bus: bool,
+}
+
+impl TmConfig {
+    pub fn new(semantics: Semantics) -> TmConfig {
+        TmConfig {
+            semantics,
+            costs: CostModel::ZERO,
+            model_memory_bus: false,
+        }
+    }
+
+    pub fn with_costs(mut self, costs: CostModel) -> TmConfig {
+        self.costs = costs;
+        self
+    }
+
+    pub fn with_memory_bus(mut self, on: bool) -> TmConfig {
+        self.model_memory_bus = on;
+        self
+    }
+}
+
+impl Default for TmConfig {
+    fn default() -> Self {
+        TmConfig::new(Semantics::WO_GAC)
+    }
+}

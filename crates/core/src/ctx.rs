@@ -1,0 +1,630 @@
+//! `TxCtx`: the handle through which transactional code reads, writes,
+//! submits and evaluates futures.
+//!
+//! One `TxCtx` exists per executing sub-transaction thread; it is a cursor
+//! over the top-level transaction's graph **G**: `submit`, `evaluate` and
+//! `step` move it to freshly created nodes (the paper's checkpoints:
+//! "when a submit or evaluate operation is executed by T, we implicitly
+//! commit the current sub-transaction and begin a new sub-transaction").
+
+use crate::future::{EscapeRecord, FutState, FutureCore, TxFuture};
+use crate::graph::{NodeId, NodeStatus};
+use crate::node::{NodeKind, ReadOrigin, SubTxNode};
+use crate::toplevel::{run_future_body, TopLevel};
+use crate::TmInner;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use wtf_mvstm::raw;
+use wtf_mvstm::{BoxId, FxHashMap, StmError, TxResult, TxValue, VBox, Value};
+
+/// Execution context of one sub-transaction thread.
+pub struct TxCtx {
+    pub(crate) tm: Arc<TmInner>,
+    pub(crate) top: Arc<TopLevel>,
+    pub(crate) node: Arc<SubTxNode>,
+    /// The future whose body this context executes (None for the
+    /// top-level thread); newly submitted futures register as children so
+    /// a body retry can cancel them.
+    owner: Option<Arc<FutureCore>>,
+    /// Replay-restart reuse queue (top-level thread only): futures already
+    /// serialized by the aborted chain incarnation, matched by submission
+    /// order.
+    replay: Vec<Arc<FutureCore>>,
+    replay_idx: usize,
+    /// True while re-running an adopted escaping future's body on this
+    /// context: its nested submissions must not enter the replay queue
+    /// (they are not part of the top-level closure's submission sequence).
+    adopting: bool,
+    /// Cached ancestor write view: overlay of iCommitted ancestors' frozen
+    /// write-sets, keyed by box, with the winning ancestor recorded for
+    /// read-origin bookkeeping. Invalidated when the graph stamp moves.
+    view: FxHashMap<BoxId, (NodeId, Value)>,
+    view_stamp: u64,
+    view_valid: bool,
+}
+
+impl TxCtx {
+    pub(crate) fn new(tm: Arc<TmInner>, top: Arc<TopLevel>, node: Arc<SubTxNode>) -> TxCtx {
+        TxCtx {
+            tm,
+            top,
+            node,
+            owner: None,
+            replay: Vec::new(),
+            replay_idx: 0,
+            adopting: false,
+            view: FxHashMap::default(),
+            view_stamp: 0,
+            view_valid: false,
+        }
+    }
+
+    pub(crate) fn set_replay(&mut self, queue: Vec<Arc<FutureCore>>) {
+        self.replay = queue;
+        self.replay_idx = 0;
+    }
+
+    pub(crate) fn set_owner(&mut self, owner: Arc<FutureCore>) {
+        self.owner = Some(owner);
+    }
+
+    /// Charges CPU plus (optionally) serialized memory-bus cost.
+    pub(crate) fn charge(&self, cpu: u64, mem: u64) {
+        if cpu > 0 {
+            self.tm.clock.advance(cpu);
+        }
+        if mem > 0 {
+            if let Some(bus) = self.tm.mem_bus {
+                self.tm.clock.acquire(bus, mem);
+            } else {
+                self.tm.clock.advance(mem);
+            }
+        }
+    }
+
+    /// Emulates `iters` iterations of CPU-bound computation (the synthetic
+    /// workloads' `iter` knob). One unit per iteration.
+    pub fn work(&self, iters: u64) {
+        self.tm.clock.advance(iters);
+    }
+
+    /// Errors out if this sub-transaction was doomed by a conflicting
+    /// serialization or its top-level was cancelled.
+    fn check_doom(&self) -> TxResult<()> {
+        if self.node.is_doomed() || self.top.is_doomed() || self.top.is_cancelled() {
+            Err(StmError::Conflict)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn refresh_view(&mut self) {
+        // Lock order everywhere: nodes, then graph.
+        let nodes = self.top.nodes.read();
+        let (stamp, g) = self.top.graph.snapshot();
+        if self.view_valid && stamp == self.view_stamp {
+            return;
+        }
+        self.view.clear();
+        for anc in g.ancestors(self.node.id) {
+            if g.status[anc] == NodeStatus::ICommitted {
+                if let Some(frozen) = nodes[anc].frozen_writes() {
+                    for (id, (_, value)) in frozen.iter() {
+                        // Ancestors are visited in ascending rank order, so
+                        // closer ancestors overwrite farther ones.
+                        self.view.insert(*id, (anc, value.clone()));
+                    }
+                }
+            }
+        }
+        self.view_stamp = stamp;
+        self.view_valid = true;
+    }
+
+    /// Transactional read (§4.1): own buffer, then the closest iCommitted
+    /// ancestor's write, then the top-level's multi-versioned snapshot.
+    pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> TxResult<T> {
+        let costs = self.tm.cfg.costs;
+        self.charge(costs.read_cpu, costs.read_mem);
+        self.check_doom()?;
+        let id = vbox.id();
+        if let Some(v) = self.node.own_write(id) {
+            return Ok(downcast(&v));
+        }
+        let body = raw::body_of(vbox);
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 1_000_000, "read stamp-retry loop spinning");
+            self.refresh_view();
+            let stamp = self.view_stamp;
+            let value = match self.view.get(&id) {
+                Some((writer, v)) => {
+                    let (writer, v) = (*writer, v.clone());
+                    self.node
+                        .record_read(id, body.clone(), ReadOrigin::Ancestor(writer));
+                    v
+                }
+                None => {
+                    let (ver, v) = raw::read_at(&body, self.top.snapshot_version());
+                    self.node
+                        .record_read(id, body.clone(), ReadOrigin::Global(ver));
+                    v
+                }
+            };
+            // Race protocol with concurrent forward validation: we record
+            // the read *before* re-checking the stamp. If a future bumped
+            // the stamp after our view was built, we redo the read against
+            // the new graph; if it bumped after this check, its validation
+            // scan (which locks our read-set afterwards) sees our entry.
+            if self.top.graph.stamp() == stamp {
+                self.check_doom()?;
+                return Ok(downcast(&value));
+            }
+            self.view_valid = false;
+        }
+    }
+
+    /// Transactional write: buffered privately until iCommit.
+    pub fn write<T: TxValue>(&mut self, vbox: &VBox<T>, value: T) -> TxResult<()> {
+        let costs = self.tm.cfg.costs;
+        self.charge(costs.write_cpu, 0);
+        self.check_doom()?;
+        self.node
+            .buffer_write(vbox.id(), raw::body_of(vbox), Arc::new(value));
+        Ok(())
+    }
+
+    /// Explicitly aborts the enclosing transaction (not retried).
+    pub fn abort<T>(&mut self) -> TxResult<T> {
+        Err(StmError::UserAbort)
+    }
+
+    /// Submits a transactional future: iCommits the current segment,
+    /// activates `body` on a parallel worker, and returns a handle
+    /// (§3: "submit takes a transaction T, activates a parallel thread in
+    /// which T will be executed, and returns a future").
+    pub fn submit<T, F>(&mut self, body: F) -> TxResult<TxFuture<T>>
+    where
+        T: TxValue,
+        F: Fn(&mut TxCtx) -> TxResult<T> + Send + Sync + 'static,
+    {
+        let costs = self.tm.cfg.costs;
+        self.charge(costs.submit_cost, 0);
+        self.check_doom()?;
+        let erased: crate::future::BodyFn =
+            Arc::new(move |ctx: &mut TxCtx| body(ctx).map(|v| Arc::new(v) as Value));
+        let core = self.submit_erased(erased)?;
+        Ok(TxFuture {
+            core,
+            _marker: PhantomData,
+        })
+    }
+
+    fn submit_erased(&mut self, body: crate::future::BodyFn) -> TxResult<Arc<FutureCore>> {
+        // Replay restart: reuse the serialized future from the aborted
+        // chain incarnation at this submission index (see
+        // `TopLevel::restart_top_chain` for the determinism argument).
+        if self.owner.is_none() && !self.adopting && self.replay_idx < self.replay.len() {
+            let candidate = self.replay[self.replay_idx].clone();
+            self.replay_idx += 1;
+            if candidate.state() == FutState::Serialized {
+                let cur = self.node.id;
+                self.node.freeze();
+                let cont = self.top.relink_reused_future(&candidate, cur);
+                self.node = cont;
+                self.view_valid = false;
+                return Ok(candidate);
+            }
+        }
+        let cur = self.node.id;
+        self.node.freeze();
+        let (fnode, cnode, cont_arc) = self.top.spawn_nodes(cur);
+        let core = self
+            .top
+            .register_future(&self.tm, fnode, cnode, body, self.owner.as_ref());
+        if self.owner.is_none() && !self.adopting {
+            self.top.top_submissions.lock().push(core.clone());
+        }
+        self.tm.stats.futures_submitted();
+        // Hand the body to a worker.
+        let pool = self.tm.pool();
+        let tm = self.tm.clone();
+        let top = self.top.clone();
+        let core2 = core.clone();
+        pool.execute(move || run_future_body(tm, top, core2));
+        // The cursor moves to the continuation node.
+        self.node = cont_arc;
+        self.view_valid = false;
+        Ok(core)
+    }
+
+    /// Evaluates a future: blocks until its result is available under the
+    /// configured semantics, serializing it upon evaluation if it could
+    /// not serialize at submission (§4.1 commit logic).
+    ///
+    /// Repeated evaluations are idempotent (§3.2): the first successful
+    /// serialization fixes the result.
+    pub fn evaluate<T: TxValue>(&mut self, future: &TxFuture<T>) -> TxResult<T> {
+        let costs = self.tm.cfg.costs;
+        self.charge(costs.evaluate_cost, 0);
+        self.check_doom()?;
+        let v = self.evaluate_core(&future.core, false)?;
+        Ok(downcast(&v))
+    }
+
+    /// Non-blocking variant (§3.2): returns `None` while the future's body
+    /// is still executing. "Any attempt to evaluate a future that is still
+    /// executing has no impact on its possible serialization orders."
+    pub fn try_evaluate<T: TxValue>(&mut self, future: &TxFuture<T>) -> TxResult<Option<T>> {
+        if future.core.state() == FutState::Running {
+            return Ok(None);
+        }
+        self.evaluate(future).map(Some)
+    }
+
+    /// Evaluates whichever of `futures` settles first (out-of-order
+    /// evaluation — WTF-TM's straggler-avoidance mode, §5.3's
+    /// WTF-OutOfOrder variant). Returns the index and value. Blocks until
+    /// at least one future's body finishes. Panics on an empty slice.
+    pub fn evaluate_any<T: TxValue>(&mut self, futures: &[TxFuture<T>]) -> TxResult<(usize, T)> {
+        assert!(!futures.is_empty(), "evaluate_any on an empty set");
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 1_000_000, "evaluate_any spinning");
+            self.check_doom()?;
+            if let Some(i) = futures.iter().position(|f| f.core.state().is_settled()) {
+                let v = self.evaluate(&futures[i])?;
+                return Ok((i, v));
+            }
+            // Future completions notify the top-level's change event.
+            let top = self.top.clone();
+            let cores: Vec<_> = futures.iter().map(|f| f.core.clone()).collect();
+            self.tm.clock.wait_until(&self.top.change, move || {
+                top.is_cancelled()
+                    || top.is_doomed()
+                    || cores.iter().any(|c| c.state().is_settled())
+            });
+        }
+    }
+
+    pub(crate) fn evaluate_core(
+        &mut self,
+        core: &Arc<FutureCore>,
+        implicit: bool,
+    ) -> TxResult<Value> {
+        if core.top_id != self.top.id {
+            return self.evaluate_escaping(core);
+        }
+        if implicit {
+            self.tm.stats.implicit_evaluations();
+        }
+        // Fast path: already serialized (at submission, or by an earlier
+        // evaluation) — idempotent result.
+        match core.state() {
+            FutState::Serialized | FutState::Adopted => {
+                return Ok(core.result_value().expect("serialized future has result"));
+            }
+            FutState::Failed => return Err(StmError::UserAbort),
+            FutState::Cancelled => return Err(StmError::Conflict),
+            _ => {}
+        }
+        // Open the evaluation segment: iCommit the current node, begin
+        // V_eval. Its dependence on the future is added upon serialization
+        // (before that the future's subtree must stay invisible).
+        let cur = self.node.id;
+        self.node.freeze();
+        let eval_arc = self.top.open_segment(cur, NodeKind::Eval);
+        self.node = eval_arc;
+        self.view_valid = false;
+        // Wait for the body to settle.
+        let top = self.top.clone();
+        let core2 = core.clone();
+        self.tm.clock.wait_until(&core.event, move || {
+            core2.state().is_settled() || top.is_cancelled()
+        });
+        self.check_doom()?;
+        loop {
+            match core.state() {
+                FutState::Serialized | FutState::Adopted => {
+                    // Serialized at submission while we were waiting.
+                    self.view_valid = false;
+                    return Ok(core.result_value().expect("result"));
+                }
+                FutState::Failed => return Err(StmError::UserAbort),
+                FutState::Cancelled => {
+                    if crate::trace_enabled() {
+                        eprintln!("[trace] evaluate hit Cancelled future {}", core.id);
+                    }
+                    return Err(StmError::Conflict);
+                }
+                FutState::Completed => {
+                    // Claim the serialization so a concurrent same-top
+                    // evaluator cannot also position the future (two
+                    // serialization points would cycle G).
+                    {
+                        let mut st = core.state.lock();
+                        if *st != FutState::Completed {
+                            continue; // another evaluator won; re-examine
+                        }
+                        *st = FutState::Adopting;
+                    }
+                    match self.top.serialize_at_evaluation(core, cur, self.node.id) {
+                        Ok(value) => {
+                            self.tm.stats.serialized_at_evaluation();
+                            self.view_valid = false;
+                            return Ok(value);
+                        }
+                        Err(()) => {
+                            // Backward validation failed: re-execute the
+                            // future inline at the evaluation point.
+                            self.tm.stats.internal_aborts();
+                            self.tm.stats.reexecutions();
+                            let out = self.reexecute_inline(core, cur);
+                            if out.is_err() && core.state() == FutState::Adopting {
+                                // Release the claim so another evaluator
+                                // (or a replay) can settle the future.
+                                core.set_state(FutState::Completed);
+                                self.tm.clock.notify_all(&core.event);
+                            }
+                            return out;
+                        }
+                    }
+                }
+                FutState::Running | FutState::Adopting => {
+                    let core2 = core.clone();
+                    let top = self.top.clone();
+                    self.tm.clock.wait_until(&core.event, move || {
+                        core2.state().is_settled() || top.is_cancelled()
+                    });
+                    self.check_doom()?;
+                }
+            }
+        }
+    }
+
+    /// Re-executes a future's body inline at its evaluation point: the
+    /// future's node is re-incarnated as a direct successor of the
+    /// evaluator's previous segment, so the re-execution observes exactly
+    /// the evaluation-point state and serializes there trivially.
+    fn reexecute_inline(&mut self, core: &Arc<FutureCore>, eval_pred: NodeId) -> TxResult<Value> {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "reexecute_inline spinning");
+            self.check_doom()?;
+            let fnode_arc = self.top.reincarnate_future_at(core, eval_pred);
+            let mut fctx = TxCtx::new(self.tm.clone(), self.top.clone(), fnode_arc);
+            fctx.set_owner(core.clone());
+            match (core.body)(&mut fctx) {
+                Ok(value) => {
+                    let final_node = fctx.node.id;
+                    fctx.node.freeze();
+                    self.top
+                        .finish_inline_serialization(core, final_node, self.node.id, value.clone());
+                    self.tm.stats.serialized_at_evaluation();
+                    self.view_valid = false;
+                    return Ok(value);
+                }
+                Err(StmError::Conflict) => {
+                    self.tm.stats.internal_aborts();
+                    if self.top.is_cancelled() || self.top.is_doomed() {
+                        return Err(StmError::Conflict);
+                    }
+                    continue;
+                }
+                Err(StmError::UserAbort) => {
+                    core.set_state(FutState::Failed);
+                    self.tm.clock.notify_all(&core.event);
+                    return Err(StmError::UserAbort);
+                }
+            }
+        }
+    }
+
+    /// Cross-top-level evaluation of an escaping future (§4.2).
+    fn evaluate_escaping(&mut self, core: &Arc<FutureCore>) -> TxResult<Value> {
+        loop {
+            // Wait until the future and its spawning top-level have settled
+            // enough to decide.
+            let core2 = core.clone();
+            self.tm.clock.wait_until(&core.event, move || {
+                let st = core2.state();
+                match st {
+                    FutState::Running | FutState::Adopting => false,
+                    // Completed: decidable once the spawner committed and
+                    // resolved the escape record.
+                    FutState::Completed => core2.escape.lock().is_some(),
+                    FutState::Serialized => core2.spawn_commit_version.lock().is_some(),
+                    FutState::Adopted | FutState::Failed | FutState::Cancelled => true,
+                }
+            });
+            self.check_doom()?;
+            match core.state() {
+                FutState::Failed => return Err(StmError::UserAbort),
+                FutState::Cancelled => return Err(StmError::Conflict),
+                FutState::Adopted => {
+                    return Ok(core.result_value().expect("adopted future has result"))
+                }
+                FutState::Serialized => {
+                    // The future's effects committed with its spawning
+                    // top-level; we may only observe them if our snapshot
+                    // is at least as recent.
+                    let version = core
+                        .spawn_commit_version
+                        .lock()
+                        .expect("serialized escaping future has commit version");
+                    if version > self.top.snapshot_version() {
+                        return Err(StmError::Conflict);
+                    }
+                    return Ok(core.result_value().expect("result"));
+                }
+                FutState::Completed => {
+                    // Try to claim the adoption.
+                    {
+                        let mut st = core.state.lock();
+                        if *st != FutState::Completed {
+                            continue; // someone else won; re-examine
+                        }
+                        *st = FutState::Adopting;
+                    }
+                    return self.adopt_escaping(core);
+                }
+                FutState::Running | FutState::Adopting => continue,
+            }
+        }
+    }
+
+    /// Validates an escaped future's read-set against this transaction's
+    /// view and either adopts its effects or re-executes it inline.
+    fn adopt_escaping(&mut self, core: &Arc<FutureCore>) -> TxResult<Value> {
+        let record = core.escape.lock().take().expect("escape record present");
+        let spawn_version = core
+            .spawn_commit_version
+            .lock()
+            .expect("escaped future has spawner commit version");
+        let valid = !record.poisoned
+            && spawn_version <= self.top.snapshot_version()
+            && self.validate_escape_reads(&record);
+        if valid {
+            // Adopt: the future's reads and writes become ours; its result
+            // is externalized through us.
+            for (body, version) in &record.reads {
+                self.node
+                    .record_read(raw::id_of(body), body.clone(), ReadOrigin::Global(*version));
+            }
+            for (body, value) in &record.writes {
+                self.node
+                    .buffer_write(raw::id_of(body), body.clone(), value.clone());
+            }
+            let value = core.result_value().expect("completed future has result");
+            core.set_state(FutState::Adopted);
+            self.tm.stats.adopted_escaping();
+            self.tm.clock.notify_all(&core.event);
+            Ok(value)
+        } else {
+            // The state the future observed is stale here: re-execute its
+            // body inline within this transaction. The result of this
+            // (first successful) serialization becomes the fixed result.
+            self.tm.stats.internal_aborts();
+            self.tm.stats.reexecutions();
+            let was_adopting = std::mem::replace(&mut self.adopting, true);
+            let run = (core.body)(self);
+            self.adopting = was_adopting;
+            match run {
+                Ok(value) => {
+                    *core.result.lock() = Some(value.clone());
+                    core.set_state(FutState::Adopted);
+                    self.tm.stats.adopted_escaping();
+                    self.tm.clock.notify_all(&core.event);
+                    Ok(value)
+                }
+                Err(e) => {
+                    // Restore the claim so another evaluator can retry.
+                    *core.escape.lock() = Some(record);
+                    core.set_state(FutState::Completed);
+                    self.tm.clock.notify_all(&core.event);
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn validate_escape_reads(&mut self, record: &EscapeRecord) -> bool {
+        for (body, version) in &record.reads {
+            let id = raw::id_of(body);
+            // Any local shadow of the box invalidates the observation.
+            if self.node.own_write(id).is_some() {
+                return false;
+            }
+            self.refresh_view();
+            if self.view.contains_key(&id) {
+                return false;
+            }
+            let (cur, _) = raw::read_at(body, self.top.snapshot_version());
+            if cur != *version {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs `f` as a checkpointed continuation segment (§3.4: the
+    /// boundaries of sub-transactions "serve as natural checkpoints to
+    /// enable partial rollbacks"). If the segment is doomed by a
+    /// conflicting future serialization (SO semantics) *and* it has not
+    /// iCommitted or spawned anything, only the segment retries — not the
+    /// whole top-level transaction.
+    pub fn step<R>(&mut self, mut f: impl FnMut(&mut TxCtx) -> TxResult<R>) -> TxResult<R> {
+        self.check_doom()?;
+        // Open a fresh segment.
+        let cur = self.node.id;
+        self.node.freeze();
+        let seg = self.top.open_segment(cur, NodeKind::Continuation);
+        self.node = seg;
+        self.view_valid = false;
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "step retry loop spinning");
+            let node_id = self.node.id;
+            let nodes_before = self.top.node_count();
+            match f(self) {
+                Ok(v) => {
+                    // A doom may have landed between the segment's last
+                    // operation and here; a doomed segment must not seal.
+                    if self.node.is_doomed() || self.top.is_doomed() || self.top.is_cancelled() {
+                        let local = !self.top.is_doomed()
+                            && !self.top.is_cancelled()
+                            && self.node.id == node_id
+                            && self.top.node_count() == nodes_before;
+                        if local {
+                            self.tm.stats.segment_retries();
+                            let fresh = self.top.reset_node(node_id, NodeKind::Continuation);
+                            self.node = fresh;
+                            self.view_valid = false;
+                            continue;
+                        }
+                        return Err(StmError::Conflict);
+                    }
+                    // Seal the segment so later dooms cannot target the
+                    // closure we no longer hold.
+                    let sealed_from = self.node.id;
+                    self.node.freeze();
+                    let next = self.top.open_segment(sealed_from, NodeKind::Continuation);
+                    self.node = next;
+                    self.view_valid = false;
+                    return Ok(v);
+                }
+                Err(StmError::Conflict) => {
+                    let local = !self.top.is_doomed()
+                        && !self.top.is_cancelled()
+                        && self.node.id == node_id
+                        && self.top.node_count() == nodes_before
+                        && self.node.is_doomed();
+                    if local {
+                        self.tm.stats.segment_retries();
+                        let fresh = self.top.reset_node(node_id, NodeKind::Continuation);
+                        self.node = fresh;
+                        self.view_valid = false;
+                        continue;
+                    }
+                    return Err(StmError::Conflict);
+                }
+                Err(StmError::UserAbort) => return Err(StmError::UserAbort),
+            }
+        }
+    }
+
+    /// The enclosing top-level transaction's snapshot version.
+    pub fn snapshot_version(&self) -> u64 {
+        self.top.snapshot_version()
+    }
+}
+
+fn downcast<T: TxValue>(v: &Value) -> T {
+    v.downcast_ref::<T>()
+        .expect("transactional value type invariant violated")
+        .clone()
+}

@@ -1,0 +1,396 @@
+//! # wtf-core — WTF-TM: transactional futures over a graph-based STM
+//!
+//! This crate is the paper's primary contribution, rebuilt in Rust:
+//! a software transactional memory in which **futures execute as atomic
+//! sub-transactions** ("transactional futures") with configurable
+//! semantics along the paper's two axes:
+//!
+//! * **Ordering** — [`OrderingSemantics::Weak`] (WO, WTF-TM proper:
+//!   a future serializes either at its submission point or at its
+//!   evaluation point) vs [`OrderingSemantics::Strong`] (SO, the JTF
+//!   baseline: always at submission, aborting conflicting continuations).
+//! * **Continuation atomicity** for *escaping* futures —
+//!   [`AtomicitySemantics::Local`] (LAC: the spawning top-level implicitly
+//!   evaluates every stray future at commit) vs
+//!   [`AtomicitySemantics::Global`] (GAC: a future may outlive its
+//!   spawning transaction and be adopted by whichever transaction
+//!   evaluates it).
+//!
+//! The runtime follows §4 of the paper: each top-level transaction owns a
+//! dependency graph **G** over its sub-transactions; reads resolve through
+//! the closest iCommitted ancestor, then the multi-versioned snapshot
+//! (`wtf-mvstm`, the JVSTM analogue); futures serialize via **forward
+//! validation** (at submission) or **backward validation** (at
+//! evaluation), re-executing inline when neither order is consistent.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wtf_core::{FutureTm, Semantics};
+//!
+//! let tm = FutureTm::new(Semantics::WO_GAC);
+//! let counter = tm.new_vbox(0i64);
+//!
+//! let total = tm
+//!     .atomic(|ctx| {
+//!         ctx.write(&counter, 10)?;
+//!         // Run a sub-computation as a transactional future...
+//!         let c = counter.clone();
+//!         let f = ctx.submit(move |ctx| {
+//!             let v = ctx.read(&c)?;
+//!             Ok(v * 2)
+//!         })?;
+//!         // ...do other work in the continuation, then evaluate it.
+//!         let doubled = ctx.evaluate(&f)?;
+//!         Ok(doubled)
+//!     })
+//!     .unwrap();
+//! assert_eq!(total, 20);
+//! tm.shutdown();
+//! ```
+
+mod config;
+mod ctx;
+mod future;
+mod graph;
+mod node;
+mod stats;
+mod toplevel;
+
+pub use config::{AtomicitySemantics, CostModel, OrderingSemantics, Semantics, TmConfig};
+pub use ctx::TxCtx;
+pub use future::{FutState, TxFuture};
+pub use graph::NodeId;
+pub use stats::{TmStats, TmStatsSnapshot};
+pub use toplevel::TopLevel;
+pub use wtf_mvstm::{Aborted, BoxId, Stm, StmError, TxResult, TxValue, VBox};
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wtf_taskpool::TaskPool;
+use wtf_vclock::{Clock, Resource};
+
+/// Diagnostic tracing (set `WTF_TRACE=1`): prints doom/replay decisions to
+/// stderr. Cached after the first check.
+pub(crate) fn trace_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("WTF_TRACE").is_some())
+}
+
+pub(crate) struct TmInner {
+    pub(crate) stm: Stm,
+    pub(crate) clock: Clock,
+    pool: Mutex<Option<Arc<TaskPool>>>,
+    pub(crate) cfg: TmConfig,
+    pub(crate) stats: TmStats,
+    pub(crate) mem_bus: Option<Resource>,
+    top_counter: AtomicU64,
+    future_counter: AtomicU64,
+}
+
+impl TmInner {
+    pub(crate) fn pool(&self) -> Arc<TaskPool> {
+        self.pool
+            .lock()
+            .as_ref()
+            .expect("FutureTm already shut down")
+            .clone()
+    }
+
+    pub(crate) fn next_top_id(&self) -> u64 {
+        self.top_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn next_future_id(&self) -> u64 {
+        self.future_counter.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Builder for [`FutureTm`].
+pub struct FutureTmBuilder {
+    cfg: TmConfig,
+    clock: Option<Clock>,
+    stm: Option<Stm>,
+    workers: usize,
+}
+
+impl FutureTmBuilder {
+    pub fn semantics(mut self, s: Semantics) -> Self {
+        self.cfg.semantics = s;
+        self
+    }
+
+    pub fn config(mut self, cfg: TmConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The clock to execute under. Defaults to the calling thread's
+    /// current clock, or a no-spin real clock outside any clock context.
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Share an existing STM instance (e.g. with plain `Stm::atomic`
+    /// baseline transactions).
+    pub fn stm(mut self, stm: Stm) -> Self {
+        self.stm = Some(stm);
+        self
+    }
+
+    /// Worker threads available for future bodies. Size it to the maximum
+    /// number of simultaneously *blocking* futures (the paper dedicates a
+    /// thread per in-flight future).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    pub fn build(self) -> FutureTm {
+        let clock = self
+            .clock
+            .or_else(Clock::try_current)
+            .unwrap_or_else(Clock::real_nospin);
+        let must_enter = Clock::try_current().is_none();
+        assert!(
+            !(must_enter && clock.is_virtual()),
+            "a FutureTm over a virtual clock must be built inside Clock::enter              (its pool workers would otherwise deadlock the scheduler)"
+        );
+        let make = |clock: &Clock| Arc::new(TaskPool::new(clock, self.workers));
+        let pool = if must_enter {
+            // Pool workers must be spawned from a registered thread.
+            clock.enter(|| make(&clock))
+        } else {
+            make(&clock)
+        };
+        let mem_bus = if self.cfg.model_memory_bus && clock.is_virtual() {
+            Some(clock.new_resource())
+        } else {
+            None
+        };
+        FutureTm {
+            inner: Arc::new(TmInner {
+                stm: self.stm.unwrap_or_default(),
+                clock,
+                pool: Mutex::new(Some(pool)),
+                cfg: self.cfg,
+                stats: TmStats::default(),
+                mem_bus,
+                top_counter: AtomicU64::new(0),
+                future_counter: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// A transactional memory with support for transactional futures.
+///
+/// Cheap to clone; all clones share the same STM, pool and statistics.
+#[derive(Clone)]
+pub struct FutureTm {
+    inner: Arc<TmInner>,
+}
+
+impl FutureTm {
+    pub fn builder() -> FutureTmBuilder {
+        FutureTmBuilder {
+            cfg: TmConfig::default(),
+            clock: None,
+            stm: None,
+            workers: 8,
+        }
+    }
+
+    /// A TM with the given semantics, zero costs, and 8 workers — suitable
+    /// for tests and applications. Figure harnesses use [`FutureTm::builder`].
+    pub fn new(semantics: Semantics) -> FutureTm {
+        Self::builder().semantics(semantics).build()
+    }
+
+    /// Creates a transactional box on this TM's STM.
+    pub fn new_vbox<T: TxValue>(&self, value: T) -> VBox<T> {
+        VBox::new(&self.inner.stm, value)
+    }
+
+    /// The underlying multi-versioned STM.
+    pub fn stm(&self) -> &Stm {
+        &self.inner.stm
+    }
+
+    /// The clock this TM executes under.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// The configured semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.inner.cfg.semantics
+    }
+
+    /// Runtime counters (abort rates, serialization points, ...).
+    pub fn stats(&self) -> TmStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Runs `body` as a top-level transaction, retrying on conflicts until
+    /// it commits. `Err(Aborted)` only on explicit [`TxCtx::abort`].
+    ///
+    /// Calls must be made from a thread registered with this TM's clock
+    /// (inside [`Clock::enter`] or a clock-spawned thread) when the clock
+    /// is virtual.
+    pub fn atomic<T>(
+        &self,
+        mut body: impl FnMut(&mut TxCtx) -> TxResult<T>,
+    ) -> Result<T, Aborted> {
+        // Replay restarts are bounded defensively; beyond the cap we fall
+        // back to a full restart (fresh snapshot).
+        const MAX_REPLAYS: u32 = 10_000;
+        let mut top: Option<Arc<TopLevel>> = None;
+        let mut replay: Option<Vec<Arc<crate::future::FutureCore>>> = None;
+        let mut replays = 0u32;
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 200_000, "atomic outer retry spinning");
+            let (t, root) = match (&top, replay.take()) {
+                (Some(t), Some(q)) => {
+                    // Internal (replay) restart on the same incarnation.
+                    let (harvested, root) = t.restart_top_chain(&self.inner);
+                    let mut queue = q;
+                    let fresh: Vec<_> = harvested
+                        .into_iter()
+                        .filter(|f| !queue.iter().any(|g| Arc::ptr_eq(f, g)))
+                        .collect();
+                    queue.extend(fresh);
+                    let t = t.clone();
+                    let mut ctx = TxCtx::new(self.inner.clone(), t.clone(), root.clone());
+                    ctx.set_replay(queue);
+                    match self.run_attempt(&t, ctx, &mut body) {
+                        AttemptOutcome::Done(v) => return v,
+                        AttemptOutcome::Internal => {
+                            replays += 1;
+                            if crate::trace_enabled() {
+                                eprintln!("[trace] replay #{replays}");
+                            }
+                            if replays < MAX_REPLAYS {
+                                replay = Some(Vec::new());
+                                continue;
+                            }
+                            self.inner.stats.top_internal_restarts();
+                            t.cancel(&self.inner);
+                            top = None;
+                            continue;
+                        }
+                        AttemptOutcome::Full => {
+                            t.cancel(&self.inner);
+                            top = None;
+                            continue;
+                        }
+                    }
+                }
+                _ => {
+                    let t = TopLevel::begin(&self.inner);
+                    let root = t.node_arc(0);
+                    (t, root)
+                }
+            };
+            let ctx = TxCtx::new(self.inner.clone(), t.clone(), root);
+            match self.run_attempt(&t, ctx, &mut body) {
+                AttemptOutcome::Done(v) => return v,
+                AttemptOutcome::Internal => {
+                    top = Some(t);
+                    replay = Some(Vec::new());
+                    continue;
+                }
+                AttemptOutcome::Full => {
+                    t.cancel(&self.inner);
+                    top = None;
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn run_attempt<T>(
+        &self,
+        top: &Arc<TopLevel>,
+        mut ctx: TxCtx,
+        body: &mut impl FnMut(&mut TxCtx) -> TxResult<T>,
+    ) -> AttemptOutcome<T> {
+        use crate::toplevel::CommitFail;
+        match body(&mut ctx) {
+            Ok(value) => match top.commit(&mut ctx) {
+                Ok(()) => AttemptOutcome::Done(Ok(value)),
+                Err(CommitFail::Internal) => {
+                    if crate::trace_enabled() {
+                        eprintln!("[trace] attempt commit internal");
+                    }
+                    if top.is_cancelled() {
+                        AttemptOutcome::Full
+                    } else {
+                        self.inner.stats.top_internal_restarts();
+                        AttemptOutcome::Internal
+                    }
+                }
+                Err(CommitFail::CrossTop) => AttemptOutcome::Full,
+            },
+            Err(StmError::Conflict) => {
+                if crate::trace_enabled() {
+                    eprintln!("[trace] attempt body conflict: top_doomed={} cancelled={}",
+                        top.is_doomed(), top.is_cancelled());
+                }
+                if top.is_cancelled() {
+                    AttemptOutcome::Full
+                } else {
+                    self.inner.stats.top_internal_restarts();
+                    AttemptOutcome::Internal
+                }
+            }
+            Err(StmError::UserAbort) => {
+                top.cancel(&self.inner);
+                AttemptOutcome::Done(Err(Aborted))
+            }
+        }
+    }
+
+    /// Like [`FutureTm::atomic`] but panics on explicit abort.
+    pub fn atomic_infallible<T>(&self, body: impl FnMut(&mut TxCtx) -> TxResult<T>) -> T {
+        self.atomic(body).expect("transaction aborted explicitly")
+    }
+
+    /// Joins the worker pool. Call from a clock-registered thread before
+    /// the enclosing `Clock::enter` returns. All clones of this TM must be
+    /// dropped first... no: shutdown is cooperative — the last handle that
+    /// calls it wins; later `atomic` calls that submit futures will panic.
+    pub fn shutdown(&self) {
+        if let Some(pool) = self.inner.pool.lock().take() {
+            let pool = Arc::into_inner(pool)
+                .expect("shutdown while futures are still being submitted");
+            if Clock::try_current().is_some() {
+                pool.shutdown();
+            } else {
+                self.inner.clock.enter(|| pool.shutdown());
+            }
+        }
+    }
+}
+
+/// Internal data structures re-exported for the repository's Criterion
+/// micro-benchmarks (`wtf-bench`): not a stable API.
+#[doc(hidden)]
+pub mod internals {
+    pub use crate::graph::{Graph, GraphInner, NodeStatus};
+}
+
+enum AttemptOutcome<T> {
+    Done(Result<T, Aborted>),
+    /// Internal doom: replay-restart the same incarnation.
+    Internal,
+    /// Cross-top conflict or cancellation: full restart, fresh snapshot.
+    Full,
+}
+
+#[cfg(test)]
+mod tests;

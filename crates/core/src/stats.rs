@@ -1,0 +1,139 @@
+//! Runtime counters: the metrics the paper's evaluation reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Internal atomic counters (relaxed: statistics, not synchronization).
+        #[derive(Default)]
+        pub struct TmStats {
+            $( $(#[$doc])* pub(crate) $name: AtomicU64, )+
+        }
+
+        /// Point-in-time copy of [`TmStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct TmStatsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )+
+        }
+
+        impl TmStats {
+            pub(crate) fn snapshot(&self) -> TmStatsSnapshot {
+                TmStatsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+
+            $(
+                pub(crate) fn $name(&self) {
+                    self.$name.fetch_add(1, Ordering::Relaxed);
+                }
+            )+
+        }
+    };
+}
+
+counters! {
+    /// Successful top-level commits.
+    top_commits,
+    /// Top-level aborts from commit-time read validation (conflicts with
+    /// other top-level transactions).
+    top_aborts,
+    /// Whole-top-level restarts forced by an internal doom that could not
+    /// be contained to a segment (cascading rollback).
+    top_internal_restarts,
+    /// Futures submitted.
+    futures_submitted,
+    /// Futures serialized at their submission point (forward validation
+    /// succeeded).
+    serialized_at_submission,
+    /// Futures serialized at their evaluation point (backward validation
+    /// succeeded).
+    serialized_at_evaluation,
+    /// Escaping futures adopted by an evaluating top-level (GAC).
+    adopted_escaping,
+    /// Implicit evaluations performed at commit under LAC.
+    implicit_evaluations,
+    /// Internal aborts: future-body retries, doomed continuation segments
+    /// and evaluation-time re-executions.
+    internal_aborts,
+    /// Futures re-executed inline at their evaluation point after failing
+    /// backward validation.
+    reexecutions,
+    /// Continuation segments retried locally after being doomed (partial
+    /// rollback via checkpoints).
+    segment_retries,
+}
+
+impl TmStatsSnapshot {
+    /// Top-level abort rate: aborts / (commits + aborts). This is the
+    /// "top-level abort rate" of Figs. 7b and 9.
+    pub fn top_abort_rate(&self) -> f64 {
+        rate(self.top_aborts + self.top_internal_restarts, self.top_commits)
+    }
+
+    /// Internal abort rate: internal aborts over internal serialization
+    /// successes (the "internal abort rate" of Figs. 7b and 8).
+    pub fn internal_abort_rate(&self) -> f64 {
+        let successes = self.serialized_at_submission
+            + self.serialized_at_evaluation
+            + self.adopted_escaping;
+        rate(self.internal_aborts, successes)
+    }
+
+    /// Difference between two snapshots (for measuring one run).
+    pub fn delta_since(&self, earlier: &TmStatsSnapshot) -> TmStatsSnapshot {
+        TmStatsSnapshot {
+            top_commits: self.top_commits - earlier.top_commits,
+            top_aborts: self.top_aborts - earlier.top_aborts,
+            top_internal_restarts: self.top_internal_restarts - earlier.top_internal_restarts,
+            futures_submitted: self.futures_submitted - earlier.futures_submitted,
+            serialized_at_submission: self.serialized_at_submission
+                - earlier.serialized_at_submission,
+            serialized_at_evaluation: self.serialized_at_evaluation
+                - earlier.serialized_at_evaluation,
+            adopted_escaping: self.adopted_escaping - earlier.adopted_escaping,
+            implicit_evaluations: self.implicit_evaluations - earlier.implicit_evaluations,
+            internal_aborts: self.internal_aborts - earlier.internal_aborts,
+            reexecutions: self.reexecutions - earlier.reexecutions,
+            segment_retries: self.segment_retries - earlier.segment_retries,
+        }
+    }
+}
+
+fn rate(bad: u64, good: u64) -> f64 {
+    if bad + good == 0 {
+        0.0
+    } else {
+        bad as f64 / (bad + good) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = TmStatsSnapshot::default();
+        assert_eq!(s.top_abort_rate(), 0.0);
+        s.top_commits = 3;
+        s.top_aborts = 1;
+        assert!((s.top_abort_rate() - 0.25).abs() < 1e-12);
+        s.serialized_at_submission = 8;
+        s.internal_aborts = 2;
+        assert!((s.internal_abort_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta() {
+        let stats = TmStats::default();
+        stats.top_commits();
+        let before = stats.snapshot();
+        stats.top_commits();
+        stats.internal_aborts();
+        let after = stats.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.top_commits, 1);
+        assert_eq!(d.internal_aborts, 1);
+    }
+}

@@ -1,0 +1,775 @@
+//! Semantics tests for the transactional-futures runtime.
+//!
+//! Virtual-clock tests pin interleavings deterministically with
+//! `ctx.work(...)` delays; real-clock tests stress the concurrent paths.
+
+use crate::{FutureTm, Semantics, TmStatsSnapshot, TxFuture};
+use std::sync::Arc;
+use wtf_vclock::Clock;
+
+/// Runs `f` with a fresh TM under a virtual clock; returns its output,
+/// the final stats and the virtual makespan.
+fn with_vtm<T>(
+    semantics: Semantics,
+    workers: usize,
+    f: impl FnOnce(&FutureTm) -> T,
+) -> (T, TmStatsSnapshot, u64) {
+    let clock = Clock::virtual_time();
+    let (out, stats) = clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(semantics)
+            .workers(workers)
+            .build();
+        let out = f(&tm);
+        let stats = tm.stats();
+        tm.shutdown();
+        (out, stats)
+    });
+    (out, stats, clock.makespan())
+}
+
+#[test]
+fn plain_transactions_without_futures() {
+    let (v, stats, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(1i64);
+        tm.atomic(|ctx| {
+            let v = ctx.read(&x)?;
+            ctx.write(&x, v + 41)?;
+            ctx.read(&x)
+        })
+        .unwrap()
+    });
+    assert_eq!(v, 42);
+    assert_eq!(stats.top_commits, 1);
+    assert_eq!(stats.futures_submitted, 0);
+}
+
+#[test]
+fn future_sees_spawner_writes() {
+    let (v, stats, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let x2 = x.clone();
+        tm.atomic(move |ctx| {
+            ctx.write(&x2, 7)?;
+            let x3 = x2.clone();
+            let f = ctx.submit(move |c| c.read(&x3))?;
+            ctx.evaluate(&f)
+        })
+        .unwrap()
+    });
+    assert_eq!(v, 7, "futures observe the spawning segment's writes");
+    assert_eq!(stats.futures_submitted, 1);
+    assert_eq!(stats.serialized_at_submission, 1);
+}
+
+#[test]
+fn continuation_does_not_see_pending_future_writes() {
+    // WO: the future writes z but the continuation reads before the future
+    // serializes — it must see the old value, and the future serializes
+    // upon evaluation (Fig. 2's "spared abort").
+    let (out, stats, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let z = tm.new_vbox(0i64);
+        let (x2, z2) = (x.clone(), z.clone());
+        let v = tm
+            .atomic(move |ctx| {
+                let (x3, z3) = (x2.clone(), z2.clone());
+                let f = ctx.submit(move |c| {
+                    c.work(100); // complete after the continuation's read
+                    c.read(&x3)?;
+                    c.write(&z3, 1)?;
+                    Ok(())
+                })?;
+                let seen = ctx.read(&z2)?; // reads z=0 before the future commits
+                ctx.work(1_000); // let the future attempt serialization
+                ctx.evaluate(&f)?;
+                Ok(seen)
+            })
+            .unwrap();
+        (v, z.read_latest())
+    });
+    assert_eq!(out.0, 0, "continuation read the pre-future value");
+    assert_eq!(out.1, 1, "future's write committed");
+    assert_eq!(
+        stats.serialized_at_evaluation, 1,
+        "WO: serialized upon evaluation"
+    );
+    assert_eq!(stats.internal_aborts, 0, "WO spares the continuation");
+    assert_eq!(stats.top_commits, 1);
+}
+
+#[test]
+fn so_dooms_conflicting_continuation_and_replays() {
+    // Same program as above under SO: the future must serialize at
+    // submission, dooming the continuation that read stale z. The replay
+    // restart reuses the serialized future, and the re-read sees z=1.
+    let (out, stats, _) = with_vtm(Semantics::SO, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let z = tm.new_vbox(0i64);
+        let (x2, z2) = (x.clone(), z.clone());
+        tm.atomic(move |ctx| {
+            let (x3, z3) = (x2.clone(), z2.clone());
+            let f = ctx.submit(move |c| {
+                c.work(100);
+                c.read(&x3)?;
+                c.write(&z3, 1)?;
+                Ok(())
+            })?;
+            let seen = ctx.read(&z2)?;
+            ctx.work(1_000);
+            ctx.evaluate(&f)?;
+            Ok(seen)
+        })
+        .unwrap()
+    });
+    assert_eq!(out, 1, "SO: the continuation re-ran and saw the future's write");
+    assert!(stats.internal_aborts >= 1, "the continuation was doomed");
+    assert_eq!(stats.serialized_at_submission, 1);
+    assert_eq!(stats.serialized_at_evaluation, 0);
+    assert_eq!(stats.top_commits, 1);
+    assert_eq!(stats.top_aborts, 0, "no cross-top conflict involved");
+}
+
+#[test]
+fn so_step_contains_doom_to_segment() {
+    // The conflicting read happens inside a `step` checkpoint and the doom
+    // arrives while the segment is still active: only the segment retries.
+    let (out, stats, _) = with_vtm(Semantics::SO, 2, |tm| {
+        let z = tm.new_vbox(0i64);
+        let z2 = z.clone();
+        tm.atomic(move |ctx| {
+            let z3 = z2.clone();
+            let f = ctx.submit(move |c| {
+                c.work(100);
+                c.write(&z3, 1)?;
+                Ok(())
+            })?;
+            let z4 = z2.clone();
+            let seen = ctx.step(move |c| {
+                let v = c.read(&z4)?;
+                c.work(1_000); // stay inside the segment while the future commits
+                Ok(v)
+            })?;
+            ctx.evaluate(&f)?;
+            Ok(seen)
+        })
+        .unwrap()
+    });
+    assert_eq!(out, 1, "segment retry re-read the future's write");
+    assert!(stats.segment_retries >= 1, "partial rollback, not a top restart");
+    assert_eq!(stats.top_internal_restarts, 0);
+    assert_eq!(stats.top_commits, 1);
+}
+
+#[test]
+fn fast_future_serializes_at_submission() {
+    let (out, stats, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let x2 = x.clone();
+        let r = tm
+            .atomic(move |ctx| {
+                let x3 = x2.clone();
+                let f = ctx.submit(move |c| {
+                    let v = c.read(&x3)?; // reads x=0 immediately
+                    c.write(&x3, v + 1)?;
+                    Ok(v)
+                })?;
+                ctx.work(500); // future completes, serializes at submission
+                let v = ctx.read(&x2)?; // continuation sees the increment
+                ctx.write(&x2, v + 10)?;
+                ctx.evaluate(&f)
+            })
+            .unwrap();
+        (r, x.read_latest())
+    });
+    assert_eq!(out.0, 0);
+    assert_eq!(out.1, 11, "increment then +10");
+    assert_eq!(stats.serialized_at_submission, 1);
+    assert_eq!(stats.top_commits, 1);
+}
+
+#[test]
+fn backward_validation_conflict_path() {
+    // Force the pending-then-conflict path: the continuation reads the
+    // future's write target first (parking the future at completion), and
+    // also writes something the future read (failing backward validation).
+    let (out, stats, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let a = tm.new_vbox(0i64); // future reads a
+        let b = tm.new_vbox(0i64); // future writes b
+        let (a2, b2) = (a.clone(), b.clone());
+        let r = tm
+            .atomic(move |ctx| {
+                let (a3, b3) = (a2.clone(), b2.clone());
+                let f = ctx.submit(move |c| {
+                    let v = c.read(&a3)?; // reads a
+                    c.work(100);
+                    c.write(&b3, v + 1)?; // writes b
+                    Ok(v)
+                })?;
+                ctx.read(&b2)?; // continuation reads b (blocks submission pt)
+                ctx.write(&a2, 50)?; // and writes a (blocks evaluation pt)
+                ctx.work(1_000);
+                ctx.evaluate(&f)
+            })
+            .unwrap();
+        (r, b.read_latest())
+    });
+    assert_eq!(stats.reexecutions, 1, "neither point fit: inline re-execution");
+    assert_eq!(out.0, 50, "re-execution saw the continuation's write to a");
+    assert_eq!(out.1, 51);
+    assert_eq!(stats.serialized_at_evaluation, 1);
+    assert_eq!(stats.top_commits, 1);
+}
+
+#[test]
+fn repeated_evaluation_is_idempotent() {
+    let (vals, _, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(5i64);
+        let x2 = x.clone();
+        tm.atomic(move |ctx| {
+            let x3 = x2.clone();
+            let f = ctx.submit(move |c| c.read(&x3))?;
+            let v1 = ctx.evaluate(&f)?;
+            ctx.write(&x2, 99)?; // must not affect the fixed result
+            let v2 = ctx.evaluate(&f)?;
+            Ok((v1, v2))
+        })
+        .unwrap()
+    });
+    assert_eq!(vals, (5, 5), "§3.2: repeated evaluations return the same result");
+}
+
+#[test]
+fn try_evaluate_is_nonblocking() {
+    let (out, _, makespan) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(1i64);
+        let x2 = x.clone();
+        tm.atomic(move |ctx| {
+            let x3 = x2.clone();
+            let f = ctx.submit(move |c| {
+                c.work(10_000);
+                c.read(&x3)
+            })?;
+            let early = ctx.try_evaluate(&f)?; // still running
+            let late = ctx.evaluate(&f)?;
+            Ok((early, late))
+        })
+        .unwrap()
+    });
+    assert_eq!(out, (None, 1));
+    assert!(makespan >= 10_000);
+}
+
+#[test]
+fn out_of_order_evaluation_avoids_stragglers_wo() {
+    // Fig. 3: a slow future must not block evaluation of a fast one (WO).
+    let (_, _, makespan) = with_vtm(Semantics::WO_GAC, 4, |tm| {
+        let x = tm.new_vbox(0i64);
+        let x2 = x.clone();
+        tm.atomic(move |ctx| {
+            let x3 = x2.clone();
+            let slow = ctx.submit(move |c| {
+                c.work(10_000);
+                c.read(&x3)
+            })?;
+            let x4 = x2.clone();
+            let fast = ctx.submit(move |c| {
+                c.work(100);
+                c.read(&x4)
+            })?;
+            let f = ctx.evaluate(&fast)?; // available at ~100
+            assert_eq!(f, 0);
+            ctx.evaluate(&slow)?;
+            Ok(())
+        })
+        .unwrap();
+    });
+    // Total span is bounded by the slow future, not the sum.
+    assert!(makespan < 12_000, "makespan {makespan}");
+}
+
+#[test]
+fn so_commits_futures_in_spawn_order() {
+    // Under SO the fast future's evaluation waits for the straggler
+    // submitted before it (spawn-order commit).
+    let run = |sem: Semantics| {
+        let (t_fast_eval, _, _) = with_vtm(sem, 4, |tm| {
+            let x = tm.new_vbox(0i64);
+            let x2 = x.clone();
+            tm.atomic(move |ctx| {
+                let x3 = x2.clone();
+                let slow = ctx.submit(move |c| {
+                    c.work(10_000);
+                    c.read(&x3)
+                })?;
+                let x4 = x2.clone();
+                let fast = ctx.submit(move |c| {
+                    c.work(100);
+                    c.read(&x4)
+                })?;
+                ctx.evaluate(&fast)?;
+                let now = Clock::current().now();
+                ctx.evaluate(&slow)?;
+                Ok(now)
+            })
+            .unwrap()
+        });
+        t_fast_eval
+    };
+    let so = run(Semantics::SO);
+    let wo = run(Semantics::WO_GAC);
+    assert!(so >= 10_000, "SO: fast future blocked behind the straggler (t={so})");
+    assert!(wo < 5_000, "WO: fast future evaluated immediately (t={wo})");
+}
+
+#[test]
+fn nested_futures_fig1b() {
+    // A future spawns a future and returns its handle; the inner future's
+    // continuation spans two sub-transactions (w(x) by TF1, w(y) by T0).
+    // It must observe both writes — via inline re-execution if its eager
+    // run saw inconsistent state.
+    let (v, stats, _) = with_vtm(Semantics::WO_GAC, 4, |tm| {
+        let x = tm.new_vbox(0i64);
+        let y = tm.new_vbox(0i64);
+        let probe = tm.new_vbox(0i64);
+        let (x2, y2, p2) = (x.clone(), y.clone(), probe.clone());
+        tm.atomic(move |ctx| {
+            let (x3, y3, p3) = (x2.clone(), y2.clone(), p2.clone());
+            let f1 = ctx.submit(move |c| {
+                let (x4, y4, p4) = (x3.clone(), y3.clone(), p3.clone());
+                let f2 = c.submit(move |c2| {
+                    let a = c2.read(&x4)?;
+                    let b = c2.read(&y4)?;
+                    c2.write(&p4, 1)?;
+                    Ok(a + b)
+                })?;
+                c.write(&x3, 10)?;
+                Ok(f2)
+            })?;
+            ctx.write(&y2, 20)?;
+            // Reading `probe` (which TF2 writes) blocks TF2's serialization
+            // at its submission point, forcing the evaluation point — where
+            // its continuation's writes w(x), w(y) must be visible.
+            ctx.read(&p2)?;
+            ctx.work(1_000);
+            let f2: TxFuture<i64> = ctx.evaluate(&f1)?;
+            ctx.evaluate(&f2)
+        })
+        .unwrap()
+    });
+    assert_eq!(
+        v, 30,
+        "TF2 observed both continuation writes (w(x) by TF1, w(y) by T0)"
+    );
+    assert_eq!(stats.futures_submitted, 2);
+    assert_eq!(stats.top_commits, 1);
+}
+
+#[test]
+fn fig4_overlapping_continuations() {
+    let (out, stats, _) = with_vtm(Semantics::WO_GAC, 4, |tm| {
+        let x = tm.new_vbox(0i64);
+        let y = tm.new_vbox(0i64);
+        let z = tm.new_vbox(0i64);
+        let (x2, y2, z2) = (x.clone(), y.clone(), z.clone());
+        tm.atomic(move |ctx| {
+            let (x3, y3) = (x2.clone(), y2.clone());
+            let f1 = ctx.submit(move |c| {
+                c.work(50);
+                let a = c.read(&x3)?;
+                let b = c.read(&y3)?;
+                Ok((a, b))
+            })?;
+            ctx.write(&x2, 1)?;
+            let (y4, z4) = (y2.clone(), z2.clone());
+            let f2 = ctx.submit(move |c| {
+                c.work(50);
+                let a = c.read(&y4)?;
+                let b = c.read(&z4)?;
+                Ok((a, b))
+            })?;
+            ctx.write(&y2, 2)?;
+            ctx.write(&z2, 3)?;
+            let r1 = ctx.evaluate(&f1)?;
+            let r2 = ctx.evaluate(&f2)?;
+            Ok((r1, r2))
+        })
+        .unwrap()
+    });
+    // TF1 must see {x,y} both-or-neither of {1,2}; TF2 must see {y,z}
+    // both-or-neither of {2,3}.
+    let (r1, r2) = out;
+    assert!(
+        r1 == (0, 0) || r1 == (1, 2),
+        "TF1 atomic w.r.t. its continuation: {r1:?}"
+    );
+    assert!(
+        r2 == (0, 0) || r2 == (2, 3),
+        "TF2 atomic w.r.t. its continuation: {r2:?}"
+    );
+    assert_eq!(stats.top_commits, 1);
+}
+
+#[test]
+fn explicit_abort_in_future_propagates() {
+    let (res, _, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let x2 = x.clone();
+        let r = tm.atomic(move |ctx| {
+            let x3 = x2.clone();
+            let f = ctx.submit(move |c| {
+                c.write(&x3, 1)?;
+                c.abort::<i64>()
+            })?;
+            ctx.evaluate(&f)
+        });
+        (r, x.read_latest())
+    });
+    assert!(res.0.is_err(), "UserAbort propagates through evaluate");
+    assert_eq!(res.1, 0, "no effects leak");
+}
+
+#[test]
+fn lac_implicitly_evaluates_escaping_future_at_commit() {
+    let (out, stats, makespan) = with_vtm(Semantics::WO_LAC, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let x2 = x.clone();
+        tm.atomic(move |ctx| {
+            let x3 = x2.clone();
+            let _f = ctx.submit(move |c| {
+                c.work(5_000);
+                c.write(&x3, 42)?;
+                Ok(())
+            })?;
+            // Reading x blocks the future's submission-point serialization,
+            // so LAC's commit must settle it by implicit evaluation.
+            let seen = ctx.read(&x2)?;
+            assert_eq!(seen, 0);
+            Ok(()) // commit without evaluating: LAC blocks and settles it
+        })
+        .unwrap();
+        x.read_latest()
+    });
+    assert_eq!(out, 42, "the implicit evaluation included the future's effects");
+    assert_eq!(stats.implicit_evaluations, 1);
+    assert_eq!(stats.serialized_at_evaluation, 1);
+    assert!(makespan >= 5_000, "commit blocked on the future");
+}
+
+#[test]
+fn gac_commit_does_not_wait_and_future_is_adopted() {
+    let clock = Clock::virtual_time();
+    let (vals, stats) = clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(2)
+            .build();
+        let data = tm.new_vbox(5i64);
+        let handle = tm.new_vbox::<Option<TxFuture<i64>>>(None);
+        let (d2, h2) = (data.clone(), handle.clone());
+        // T1 spawns the future and commits without evaluating it.
+        tm.atomic(move |ctx| {
+            ctx.write(&d2, 7)?;
+            let d3 = d2.clone();
+            let f = ctx.submit(move |c| {
+                c.work(5_000);
+                let v = c.read(&d3)?;
+                Ok(v * 2)
+            })?;
+            ctx.write(&h2, Some(f))?;
+            Ok(())
+        })
+        .unwrap();
+        let t_commit = Clock::current().now();
+        assert!(t_commit < 5_000, "GAC: T1 did not wait for the future");
+        // T2 retrieves the handle and evaluates (adopts) the future.
+        let h3 = handle.clone();
+        let v = tm
+            .atomic(move |ctx| {
+                let f = ctx.read(&h3)?.expect("handle published");
+                ctx.evaluate(&f)
+            })
+            .unwrap();
+        let stats = tm.stats();
+        tm.shutdown();
+        ((t_commit, v), stats)
+    });
+    assert_eq!(vals.1, 14, "adopted future computed over T1's committed state");
+    assert_eq!(stats.adopted_escaping, 1);
+    assert_eq!(stats.top_commits, 2);
+}
+
+#[test]
+fn gac_adoption_revalidates_and_reexecutes_on_staleness() {
+    let clock = Clock::virtual_time();
+    let (v, stats) = clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(2)
+            .build();
+        let data = tm.new_vbox(5i64);
+        let handle = tm.new_vbox::<Option<TxFuture<i64>>>(None);
+        let probe = tm.new_vbox(0i64);
+        let (d2, h2, p2) = (data.clone(), handle.clone(), probe.clone());
+        tm.atomic(move |ctx| {
+            let (d3, p3) = (d2.clone(), p2.clone());
+            let f = ctx.submit(move |c| {
+                let v = c.read(&d3)?;
+                c.write(&p3, 1)?;
+                Ok(v * 2)
+            })?;
+            ctx.write(&h2, Some(f))?;
+            // Reading the probe blocks serialization at submission, so the
+            // future escapes T1 unserialized.
+            ctx.read(&p2)?;
+            ctx.work(100); // let the future finish while T1 is active
+            Ok(())
+        })
+        .unwrap();
+        // A third transaction invalidates the future's read.
+        let d4 = data.clone();
+        tm.atomic(move |ctx| ctx.write(&d4, 100)).unwrap();
+        // Now the adoption must re-execute against the fresh state.
+        let h3 = handle.clone();
+        let v = tm
+            .atomic(move |ctx| {
+                let f = ctx.read(&h3)?.expect("handle");
+                ctx.evaluate(&f)
+            })
+            .unwrap();
+        let stats = tm.stats();
+        tm.shutdown();
+        (v, stats)
+    });
+    assert_eq!(v, 200, "re-executed against the updated value");
+    assert_eq!(stats.reexecutions, 1);
+    assert_eq!(stats.adopted_escaping, 1);
+}
+
+#[test]
+fn gac_unevaluated_escaping_future_never_commits_effects() {
+    let (x_final, stats, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        let x = tm.new_vbox(0i64);
+        let x2 = x.clone();
+        tm.atomic(move |ctx| {
+            let x3 = x2.clone();
+            let _f = ctx.submit(move |c| {
+                c.write(&x3, 99)?;
+                Ok(())
+            })?;
+            Ok(())
+        })
+        .unwrap();
+        // Give the future time to complete (its effects must still not
+        // materialize — it is only serialized upon an evaluation that
+        // never happens).
+        let y = tm.new_vbox(0i64);
+        let y2 = y.clone();
+        tm.atomic(move |ctx| {
+            ctx.work(10_000);
+            ctx.write(&y2, 1)
+        })
+        .unwrap();
+        x.read_latest()
+    });
+    assert_eq!(x_final, 0);
+    assert_eq!(stats.adopted_escaping, 0);
+}
+
+#[test]
+fn deterministic_virtual_execution() {
+    let run = || {
+        with_vtm(Semantics::WO_GAC, 4, |tm| {
+            let boxes: Vec<_> = (0..8).map(|i| tm.new_vbox(i as i64)).collect();
+            let mut acc = 0i64;
+            for round in 0..5 {
+                let boxes2 = boxes.clone();
+                acc += tm
+                    .atomic(move |ctx| {
+                        let mut futs = Vec::new();
+                        for (i, b) in boxes2.iter().enumerate() {
+                            let b2 = b.clone();
+                            futs.push(ctx.submit(move |c| {
+                                c.work(100 * (i as u64 + 1));
+                                let v = c.read(&b2)?;
+                                c.write(&b2, v + 1)?;
+                                Ok(v)
+                            })?);
+                        }
+                        let mut sum = 0i64;
+                        for f in &futs {
+                            sum += ctx.evaluate(f)?;
+                        }
+                        Ok(sum + round)
+                    })
+                    .unwrap();
+            }
+            acc
+        })
+    };
+    let (a1, s1, m1) = run();
+    let (a2, s2, m2) = run();
+    assert_eq!(a1, a2);
+    assert_eq!(s1, s2);
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn parallel_futures_give_virtual_speedup() {
+    // Fixed total work split across k futures: virtual makespan shrinks.
+    let span = |futures: u64| {
+        let (_, _, makespan) = with_vtm(Semantics::WO_GAC, 8, |tm| {
+            let x = tm.new_vbox(1i64);
+            let x2 = x.clone();
+            tm.atomic(move |ctx| {
+                let mut futs = Vec::new();
+                for _ in 0..futures {
+                    let x3 = x2.clone();
+                    futs.push(ctx.submit(move |c| {
+                        c.work(8_000 / futures);
+                        c.read(&x3)
+                    })?);
+                }
+                for f in &futs {
+                    ctx.evaluate(f)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        });
+        makespan
+    };
+    let serial = span(1);
+    let parallel = span(8);
+    assert!(
+        parallel * 4 < serial,
+        "8-way futures at least 4x faster in virtual time ({parallel} vs {serial})"
+    );
+}
+
+#[test]
+fn cross_top_conflicts_preserve_counter() {
+    // Two virtual threads increment the same counter through futures;
+    // the final count is exact.
+    let clock = Clock::virtual_time();
+    let total = clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(8)
+            .build();
+        let counter = tm.new_vbox(0i64);
+        let c = Clock::current();
+        let hs: Vec<_> = (0..2)
+            .map(|t| {
+                let tm = tm.clone();
+                let counter = counter.clone();
+                c.spawn(&format!("top{t}"), move || {
+                    for _ in 0..10 {
+                        let counter2 = counter.clone();
+                        tm.atomic(move |ctx| {
+                            let c2 = counter2.clone();
+                            let f = ctx.submit(move |c| {
+                                c.work(37);
+                                let v = c.read(&c2)?;
+                                Ok(v)
+                            })?;
+                            let v = ctx.evaluate(&f)?;
+                            ctx.write(&counter2, v + 1)?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        let v = counter.read_latest();
+        tm.shutdown();
+        v
+    });
+    assert_eq!(total, 20, "lost updates prevented across top-levels");
+}
+
+#[test]
+fn bank_invariant_with_futures_real_clock() {
+    // Real-thread stress: transfers split across futures; conservation holds.
+    let clock = Clock::real_nospin();
+    clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(16)
+            .build();
+        const N: usize = 16;
+        let accounts: Arc<Vec<_>> = Arc::new((0..N).map(|_| tm.new_vbox(100i64)).collect());
+        let c = Clock::current();
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let tm = tm.clone();
+                let accounts = accounts.clone();
+                c.spawn(&format!("client{t}"), move || {
+                    let mut seed = 0xdeadbeefu64 ^ ((t as u64) << 7);
+                    let mut next = move || {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        seed
+                    };
+                    for _ in 0..50 {
+                        let from = (next() % N as u64) as usize;
+                        let to = (next() % N as u64) as usize;
+                        if from == to {
+                            continue;
+                        }
+                        let accounts2 = accounts.clone();
+                        tm.atomic(move |ctx| {
+                            let (a, b) = (accounts2[from].clone(), accounts2[to].clone());
+                            let f = ctx.submit(move |c| {
+                                let v = c.read(&a)?;
+                                c.write(&a, v - 5)?;
+                                Ok(())
+                            })?;
+                            let v = ctx.read(&accounts2[to])?;
+                            ctx.write(&b, v + 5)?;
+                            ctx.evaluate(&f)?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        let total: i64 = accounts.iter().map(|a| a.read_latest()).sum();
+        assert_eq!(total, 100 * N as i64);
+        tm.shutdown();
+    });
+}
+
+#[test]
+fn many_futures_fanout() {
+    let (sum, stats, _) = with_vtm(Semantics::WO_GAC, 32, |tm| {
+        let boxes: Vec<_> = (0..32).map(|i| tm.new_vbox(i as i64)).collect();
+        let boxes2 = boxes.clone();
+        tm.atomic(move |ctx| {
+            let futs: Vec<_> = boxes2
+                .iter()
+                .map(|b| {
+                    let b2 = b.clone();
+                    ctx.submit(move |c| c.read(&b2))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut sum = 0i64;
+            for f in &futs {
+                sum += ctx.evaluate(f)?;
+            }
+            Ok(sum)
+        })
+        .unwrap()
+    });
+    assert_eq!(sum, (0..32).sum::<i64>());
+    assert_eq!(stats.futures_submitted, 32);
+}

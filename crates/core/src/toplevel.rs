@@ -1,0 +1,873 @@
+//! Top-level transactions: graph ownership, future serialization
+//! (forward/backward validation), settlement policies and final commit.
+
+use crate::ctx::TxCtx;
+use crate::future::{BodyFn, EscapeRecord, FutState, FutureCore};
+use crate::graph::{Graph, NodeId, NodeStatus};
+use crate::node::{NodeKind, ReadOrigin, SubTxNode};
+use crate::{AtomicitySemantics, OrderingSemantics, TmInner};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use wtf_mvstm::raw::{self, BoxBody};
+use wtf_mvstm::{BoxId, FxHashMap, StmError, Value};
+use wtf_vclock::Event;
+
+/// Outcome of a future body's commit request (§4.1 commit logic).
+pub(crate) enum FutureCommitOutcome {
+    /// Forward validation passed (or SO forced it): serialized at the
+    /// submission point.
+    SerializedAtSubmission,
+    /// WO: forward validation failed; the commit "blocks" (state-wise)
+    /// until the future is evaluated.
+    Pending,
+    /// The spawning top-level already committed (GAC): the future escaped
+    /// and awaits adoption.
+    Escaped,
+    /// The future itself was doomed during execution (a stale read): the
+    /// body must re-execute.
+    Doomed,
+}
+
+/// Why a top-level commit attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CommitFail {
+    /// Commit-time read validation failed against another top-level
+    /// transaction: restart with a fresh snapshot.
+    CrossTop,
+    /// An internal doom (SO continuation conflict) cascaded: restart the
+    /// top-level thread, keeping the snapshot and already-serialized
+    /// futures (replay restart — the library's stand-in for JTF's
+    /// continuation-based partial rollback).
+    Internal,
+}
+
+/// Final-commit byproducts needed to resolve escaping futures.
+pub(crate) struct CommitInfo {
+    pub version: u64,
+    /// Which node's write won the final overlay for each box.
+    pub winners: FxHashMap<BoxId, NodeId>,
+}
+
+/// One incarnation of a top-level transaction.
+pub struct TopLevel {
+    pub id: u64,
+    pub(crate) snapshot: raw::Snapshot,
+    pub(crate) graph: Graph,
+    pub(crate) nodes: RwLock<Vec<Arc<SubTxNode>>>,
+    /// Internal doom that cannot be contained to one segment: forces a
+    /// whole-top-level restart.
+    doomed: AtomicBool,
+    /// This incarnation was abandoned (retry or explicit abort).
+    cancelled: AtomicBool,
+    /// GAC: the top-level committed; no more serialize-at-submission.
+    sealed: AtomicBool,
+    /// Every future (transitively) spawned under this top-level.
+    pub(crate) futures: Mutex<Vec<Arc<FutureCore>>>,
+    /// Futures submitted by the top-level thread itself, in submission
+    /// order — the replay-restart reuse queue.
+    pub(crate) top_submissions: Mutex<Vec<Arc<FutureCore>>>,
+    /// Notified on future completion and other settlement-relevant events.
+    pub(crate) change: Event,
+    pub(crate) committed: Mutex<Option<CommitInfo>>,
+}
+
+impl TopLevel {
+    pub(crate) fn begin(tm: &Arc<TmInner>) -> Arc<TopLevel> {
+        let id = tm.next_top_id();
+        let top = Arc::new(TopLevel {
+            id,
+            snapshot: raw::acquire_snapshot(&tm.stm),
+            graph: Graph::with_root(),
+            nodes: RwLock::new(vec![SubTxNode::new(0, NodeKind::Root)]),
+            doomed: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            sealed: AtomicBool::new(false),
+            futures: Mutex::new(Vec::new()),
+            top_submissions: Mutex::new(Vec::new()),
+            change: tm.clock.new_event(),
+            committed: Mutex::new(None),
+        });
+        tm.clock.advance(tm.cfg.costs.begin_cost);
+        top
+    }
+
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    pub(crate) fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn node_arc(&self, id: NodeId) -> Arc<SubTxNode> {
+        self.nodes.read()[id].clone()
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Creates the future + continuation node pair for a submit, marking
+    /// the spawning node iCommitted (its writes become visible to both).
+    pub(crate) fn spawn_nodes(&self, cur: NodeId) -> (NodeId, NodeId, Arc<SubTxNode>) {
+        let mut nodes = self.nodes.write();
+        let (f, c) = self.graph.update(|g| {
+            g.set_status(cur, NodeStatus::ICommitted);
+            let f = g.add_node(NodeStatus::Active, &[cur]);
+            let c = g.add_node(NodeStatus::Active, &[cur]);
+            (f, c)
+        });
+        debug_assert_eq!(f, nodes.len());
+        nodes.push(SubTxNode::new(f, NodeKind::Future));
+        nodes.push(SubTxNode::new(c, NodeKind::Continuation));
+        let cont = nodes[c].clone();
+        (f, c, cont)
+    }
+
+    /// Opens a fresh segment node after `pred` (which the caller froze).
+    pub(crate) fn open_segment(&self, pred: NodeId, kind: NodeKind) -> Arc<SubTxNode> {
+        let mut nodes = self.nodes.write();
+        let id = self.graph.update(|g| {
+            g.set_status(pred, NodeStatus::ICommitted);
+            g.add_node(NodeStatus::Active, &[pred])
+        });
+        debug_assert_eq!(id, nodes.len());
+        let node = SubTxNode::new(id, kind);
+        nodes.push(node.clone());
+        node
+    }
+
+    /// Replaces a node with a fresh incarnation (segment retry / future
+    /// body retry).
+    pub(crate) fn reset_node(&self, id: NodeId, kind: NodeKind) -> Arc<SubTxNode> {
+        let mut nodes = self.nodes.write();
+        let fresh = SubTxNode::new(id, kind);
+        nodes[id] = fresh.clone();
+        self.graph.update(|g| g.set_status(id, NodeStatus::Active));
+        fresh
+    }
+
+    pub(crate) fn register_future(
+        &self,
+        tm: &Arc<TmInner>,
+        fnode: NodeId,
+        cnode: NodeId,
+        body: BodyFn,
+        parent: Option<&Arc<FutureCore>>,
+    ) -> Arc<FutureCore> {
+        let core = Arc::new(FutureCore {
+            id: tm.next_future_id(),
+            top_id: self.id,
+            node: fnode,
+            cont_node: cnode,
+            final_node: Mutex::new(None),
+            state: Mutex::new(FutState::Running),
+            result: Mutex::new(None),
+            event: tm.clock.new_event(),
+            body,
+            spawn_commit_version: Mutex::new(None),
+            escape: Mutex::new(None),
+            children: Mutex::new(Vec::new()),
+        });
+        self.futures.lock().push(core.clone());
+        if let Some(p) = parent {
+            p.children.lock().push(core.clone());
+        }
+        core
+    }
+
+    /// The nodes whose effects a future's serialization carries: the
+    /// future's own chain plus nested futures already serialized inside it
+    /// — computed as the ancestors of the final node that lie within the
+    /// future's subtree.
+    fn subtree_members(
+        g: &crate::graph::GraphInner,
+        fnode: NodeId,
+        final_node: NodeId,
+    ) -> Vec<NodeId> {
+        let mut subtree: HashSet<NodeId> = g.reachable_from(fnode).into_iter().collect();
+        subtree.insert(fnode);
+        let mut members: Vec<NodeId> = g
+            .ancestors(final_node)
+            .into_iter()
+            .filter(|n| subtree.contains(n))
+            .collect();
+        members.push(final_node);
+        if !members.contains(&fnode) {
+            members.insert(0, fnode);
+        }
+        members
+    }
+
+    /// External read-set of a future: every box read by its members whose
+    /// value came from outside the subtree.
+    fn external_reads(
+        nodes: &[Arc<SubTxNode>],
+        members: &[NodeId],
+    ) -> Vec<(Arc<BoxBody>, ReadOrigin)> {
+        let member_set: HashSet<NodeId> = members.iter().copied().collect();
+        let mut seen: HashSet<BoxId> = HashSet::new();
+        let mut out = Vec::new();
+        for &m in members {
+            for (id, entry) in nodes[m].reads.lock().iter() {
+                let external = match entry.origin {
+                    ReadOrigin::Global(_) => true,
+                    ReadOrigin::Ancestor(a) => !member_set.contains(&a),
+                };
+                if external && seen.insert(*id) {
+                    out.push((entry.body.clone(), entry.origin.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Overlay of the members' write-sets in rank order.
+    fn overlay_writes(
+        g: &crate::graph::GraphInner,
+        nodes: &[Arc<SubTxNode>],
+        members: &[NodeId],
+    ) -> FxHashMap<BoxId, (Arc<BoxBody>, Value, NodeId)> {
+        let mut ordered: Vec<NodeId> = members.to_vec();
+        ordered.sort_by_key(|&n| (g.rank[n], n));
+        let mut out: FxHashMap<BoxId, (Arc<BoxBody>, Value, NodeId)> = FxHashMap::default();
+        for n in ordered {
+            if let Some(frozen) = nodes[n].frozen_writes() {
+                for (id, (body, value)) in frozen.iter() {
+                    out.insert(*id, (body.clone(), value.clone(), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// A future's body finished executing: attempt serialization at the
+    /// submission point (forward validation), or park it.
+    pub(crate) fn complete_future(
+        &self,
+        tm: &Arc<TmInner>,
+        core: &Arc<FutureCore>,
+        final_node: NodeId,
+        value: Value,
+    ) -> FutureCommitOutcome {
+        if core.state() == FutState::Cancelled {
+            // The future was cancelled (replay restart or top abort) while
+            // its body was finishing: discard the incarnation's effects.
+            tm.clock.notify_all(&core.event);
+            tm.clock.notify_all(&self.change);
+            return FutureCommitOutcome::Escaped;
+        }
+        *core.final_node.lock() = Some(final_node);
+        *core.result.lock() = Some(value);
+        let nodes = self.nodes.read();
+        let strong = tm.cfg.semantics.ordering == OrderingSemantics::Strong;
+        let outcome = self.graph.update(|g| {
+            if self.is_sealed() {
+                g.set_status(core.node, NodeStatus::CompletedPending);
+                g.set_status(final_node, NodeStatus::CompletedPending);
+                return FutureCommitOutcome::Escaped;
+            }
+            let members = Self::subtree_members(g, core.node, final_node);
+            // A doomed member read state that a conflicting serialization
+            // invalidated: this incarnation cannot serialize anywhere.
+            if members.iter().any(|&m| nodes[m].is_doomed()) {
+                return FutureCommitOutcome::Doomed;
+            }
+            // Union of the subtree's (frozen) writes.
+            let mut write_ids: FxHashMap<BoxId, ()> = FxHashMap::default();
+            for &m in &members {
+                if let Some(frozen) = nodes[m].frozen_writes() {
+                    write_ids.extend(frozen.keys().map(|&k| (k, ())));
+                }
+            }
+            // Forward validation (§4.1): no sub-transaction reachable from
+            // the continuation may have read anything the future wrote.
+            let conflicters: Vec<NodeId> = g
+                .reachable_from(core.cont_node)
+                .into_iter()
+                .chain(std::iter::once(core.cont_node))
+                .filter(|&n| {
+                    g.status[n] != NodeStatus::Aborted && nodes[n].reads_intersect(&write_ids)
+                })
+                .collect();
+            if conflicters.is_empty() {
+                g.add_edge(final_node, core.cont_node);
+                for &m in &members {
+                    g.set_status(m, NodeStatus::ICommitted);
+                }
+                FutureCommitOutcome::SerializedAtSubmission
+            } else if strong {
+                // SO: the future wins its submission point; conflicting
+                // readers are doomed. An already-iCommitted (or branched)
+                // reader cannot be rolled back alone: cascade to a
+                // whole-top-level restart.
+                g.add_edge(final_node, core.cont_node);
+                for &m in &members {
+                    g.set_status(m, NodeStatus::ICommitted);
+                }
+                for &n in &conflicters {
+                    if crate::trace_enabled() {
+                        eprintln!("[trace] future {} dooms node {} (active={})", core.id, n,
+                            g.status[n] == NodeStatus::Active && g.succs[n].is_empty());
+                    }
+                    nodes[n].doom();
+                    tm.stats.internal_aborts();
+                    let contained =
+                        g.status[n] == NodeStatus::Active && g.succs[n].is_empty();
+                    if !contained {
+                        self.doom();
+                    }
+                }
+                FutureCommitOutcome::SerializedAtSubmission
+            } else {
+                g.set_status(core.node, NodeStatus::CompletedPending);
+                g.set_status(final_node, NodeStatus::CompletedPending);
+                FutureCommitOutcome::Pending
+            }
+        });
+        drop(nodes);
+        // A replay restart may have cancelled us concurrently; never
+        // resurrect a cancelled incarnation.
+        let transition = |next: FutState| {
+            let mut st = core.state.lock();
+            if *st != FutState::Cancelled {
+                *st = next;
+                true
+            } else {
+                false
+            }
+        };
+        match &outcome {
+            FutureCommitOutcome::SerializedAtSubmission => {
+                if transition(FutState::Serialized) {
+                    tm.stats.serialized_at_submission();
+                }
+            }
+            FutureCommitOutcome::Pending => {
+                transition(FutState::Completed);
+            }
+            FutureCommitOutcome::Escaped => {
+                // The spawner already committed: resolve the escape record
+                // immediately from the recorded commit info.
+                self.resolve_escape(core);
+                transition(FutState::Completed);
+            }
+            FutureCommitOutcome::Doomed => {}
+        }
+        tm.clock.notify_all(&core.event);
+        tm.clock.notify_all(&self.change);
+        outcome
+    }
+
+    /// Serialization upon evaluation (§4.1 backward validation). Returns
+    /// the result value, or `Err(())` if the future must re-execute.
+    pub(crate) fn serialize_at_evaluation(
+        &self,
+        core: &Arc<FutureCore>,
+        eval_pred: NodeId,
+        eval_node: NodeId,
+    ) -> Result<Value, ()> {
+        let nodes = self.nodes.read();
+        let final_node = core.final_node.lock().expect("completed future");
+        let ok = self.graph.update(|g| {
+            let members = Self::subtree_members(g, core.node, final_node);
+            if members.iter().any(|&m| nodes[m].is_doomed()) {
+                return false;
+            }
+            let member_set: HashSet<NodeId> = members.iter().copied().collect();
+            // Boxes the future observed from outside its subtree.
+            let mut read_ids: FxHashMap<BoxId, ()> = FxHashMap::default();
+            for (body, _) in Self::external_reads(&nodes, &members) {
+                read_ids.insert(raw::id_of(&body), ());
+            }
+            // The sub-transactions that ran concurrently with the future:
+            // the backward chain from the evaluation point, minus the
+            // future's own ancestors (whose writes it did see).
+            let f_anc: HashSet<NodeId> = g.ancestors(core.node).into_iter().collect();
+            let chain: Vec<NodeId> = g
+                .backward_chain(eval_node, usize::MAX)
+                .into_iter()
+                .filter(|n| !f_anc.contains(n) && !member_set.contains(n))
+                .collect();
+            let conflict = chain.iter().any(|&n| {
+                g.status[n] != NodeStatus::Aborted && nodes[n].writes_intersect(&read_ids)
+            });
+            if conflict {
+                return false;
+            }
+            // Serialize after the continuation, before the evaluation.
+            g.add_edge(eval_pred, core.node);
+            g.add_edge(final_node, eval_node);
+            for &m in &members {
+                g.set_status(m, NodeStatus::ICommitted);
+            }
+            true
+        });
+        drop(nodes);
+        if ok {
+            core.set_state(FutState::Serialized);
+            Ok(core.result_value().expect("result"))
+        } else {
+            Err(())
+        }
+    }
+
+    /// Re-incarnates a future's node as a direct successor of the
+    /// evaluation point (inline re-execution).
+    pub(crate) fn reincarnate_future_at(
+        &self,
+        core: &Arc<FutureCore>,
+        eval_pred: NodeId,
+    ) -> Arc<SubTxNode> {
+        let mut nodes = self.nodes.write();
+        let fresh = SubTxNode::new(core.node, NodeKind::Future);
+        nodes[core.node] = fresh.clone();
+        self.graph.update(|g| {
+            g.set_status(core.node, NodeStatus::Active);
+            g.add_edge(eval_pred, core.node);
+        });
+        fresh
+    }
+
+    /// Finishes an inline re-execution: publishes the subtree at the
+    /// evaluation point.
+    pub(crate) fn finish_inline_serialization(
+        &self,
+        core: &Arc<FutureCore>,
+        final_node: NodeId,
+        eval_node: NodeId,
+        value: Value,
+    ) {
+        self.graph.update(|g| {
+            g.add_edge(final_node, eval_node);
+            let members = Self::subtree_members(g, core.node, final_node);
+            for m in members {
+                g.set_status(m, NodeStatus::ICommitted);
+            }
+        });
+        *core.final_node.lock() = Some(final_node);
+        *core.result.lock() = Some(value);
+        core.set_state(FutState::Serialized);
+    }
+
+    /// Recursively cancels futures spawned by an aborted body incarnation.
+    pub(crate) fn cancel_children(&self, tm: &Arc<TmInner>, core: &Arc<FutureCore>) {
+        let children: Vec<Arc<FutureCore>> = core.children.lock().drain(..).collect();
+        for child in children {
+            self.cancel_children(tm, &child);
+            child.set_state(FutState::Cancelled);
+            self.graph.update(|g| {
+                g.set_status(child.node, NodeStatus::Aborted);
+                if let Some(f) = *child.final_node.lock() {
+                    g.set_status(f, NodeStatus::Aborted);
+                }
+            });
+            tm.clock.notify_all(&child.event);
+        }
+    }
+
+    /// Abandons this incarnation (retry or explicit abort).
+    pub(crate) fn cancel(&self, tm: &Arc<TmInner>) {
+        self.cancelled.store(true, Ordering::Release);
+        let futures: Vec<Arc<FutureCore>> = self.futures.lock().clone();
+        for fut in futures {
+            let st = fut.state();
+            if st != FutState::Adopted {
+                fut.set_state(FutState::Cancelled);
+            }
+            tm.clock.notify_all(&fut.event);
+        }
+        tm.clock.notify_all(&self.change);
+    }
+
+    /// Replay restart (internal doom recovery): abandons the current
+    /// top-level *thread chain* but keeps the snapshot, the graph, and
+    /// every already-serialized future. Returns the reuse queue and the
+    /// fresh root node the re-execution starts from.
+    ///
+    /// Soundness rests on the standard replay-determinism assumption (the
+    /// same one behind JTF's continuation rollback): re-running the
+    /// transaction body observes identical values up to the first doomed
+    /// read — earlier reads were validated against the same snapshot and
+    /// graph — hence issues the identical prefix of submissions.
+    pub(crate) fn restart_top_chain(
+        &self,
+        tm: &Arc<TmInner>,
+    ) -> (Vec<Arc<FutureCore>>, Arc<SubTxNode>) {
+        let replay: Vec<Arc<FutureCore>> = std::mem::take(&mut *self.top_submissions.lock());
+        // Cancel not-yet-serialized top submissions: they are respawned at
+        // their submission index. (Serialized ones are reused; their
+        // nested pending children stay alive and valid.)
+        for fut in &replay {
+            if fut.state() != FutState::Serialized {
+                fut.set_state(FutState::Cancelled);
+                self.graph.update(|g| {
+                    g.set_status(fut.node, NodeStatus::Aborted);
+                    if let Some(f) = *fut.final_node.lock() {
+                        g.set_status(f, NodeStatus::Aborted);
+                    }
+                });
+                tm.clock.notify_all(&fut.event);
+            }
+        }
+        self.doomed.store(false, Ordering::Release);
+        // Fresh chain root (a second rank-0 node; the old chain becomes
+        // garbage no path reaches).
+        let mut nodes = self.nodes.write();
+        let id = self.graph.update(|g| g.add_node(NodeStatus::Active, &[]));
+        debug_assert_eq!(id, nodes.len());
+        let node = SubTxNode::new(id, NodeKind::Root);
+        nodes.push(node.clone());
+        (replay, node)
+    }
+
+    /// Reuses an already-serialized future during a replay restart: links
+    /// its effects after `cur` and returns the new continuation node.
+    pub(crate) fn relink_reused_future(
+        &self,
+        core: &Arc<FutureCore>,
+        cur: NodeId,
+    ) -> Arc<SubTxNode> {
+        let final_node = core.final_node.lock().expect("serialized future");
+        let mut nodes = self.nodes.write();
+        let c = self.graph.update(|g| {
+            g.set_status(cur, NodeStatus::ICommitted);
+            // Re-home the future's subtree onto the new chain: its old
+            // spawn point belongs to the aborted chain, whose segments
+            // must not leak into the inclusion set. By replay determinism
+            // the new chain's prefix is equivalent to the old one.
+            g.set_preds(core.node, &[cur]);
+            g.add_node(NodeStatus::Active, &[cur, final_node])
+        });
+        debug_assert_eq!(c, nodes.len());
+        let node = SubTxNode::new(c, NodeKind::Continuation);
+        nodes.push(node.clone());
+        self.top_submissions.lock().push(core.clone());
+        node
+    }
+
+    // ---------------- commit ----------------
+
+    /// Commits the top-level transaction (called with the top thread's ctx
+    /// so LAC can perform implicit evaluations).
+    pub(crate) fn commit(self: &Arc<Self>, ctx: &mut TxCtx) -> Result<(), CommitFail> {
+        let tm = ctx.tm.clone();
+        tm.clock.advance(tm.cfg.costs.commit_cost);
+        // 1. Settle futures per the configured semantics.
+        match (tm.cfg.semantics.ordering, tm.cfg.semantics.atomicity) {
+            (OrderingSemantics::Strong, _) => self.settle_wait_all(&tm),
+            (OrderingSemantics::Weak, AtomicitySemantics::Local) => {
+                self.settle_lac(ctx).map_err(|_| CommitFail::Internal)?
+            }
+            (OrderingSemantics::Weak, AtomicitySemantics::Global) => {
+                // Escaping futures are allowed to outlive us; sealing
+                // happens below under the graph lock.
+            }
+        }
+        // 2. Internal dooms force a restart.
+        if self.is_doomed() || self.is_cancelled() || ctx.node.is_doomed() {
+            return Err(CommitFail::Internal);
+        }
+        // 3. Close the final segment; seal against late submissions (GAC).
+        ctx.node.freeze();
+        let commit_node = ctx.node.id;
+        self.graph.update(|g| {
+            g.set_status(commit_node, NodeStatus::ICommitted);
+            self.sealed.store(true, Ordering::Release);
+        });
+        // 4. Gather the transaction's effects: the nodes on a path from
+        // the root to the commit node (the paper's inclusion rule).
+        let gathered = {
+            let nodes = self.nodes.read();
+            let (_, g) = self.graph.snapshot();
+            let mut included = g.ancestors(commit_node);
+            included.push(commit_node);
+            included.retain(|&n| g.status[n] == NodeStatus::ICommitted);
+            if included.iter().any(|&n| nodes[n].is_doomed()) {
+                return Err(CommitFail::Internal);
+            }
+            let overlay = Self::overlay_writes(&g, &nodes, &included);
+            let mut winners: FxHashMap<BoxId, NodeId> = FxHashMap::default();
+            let mut writes: Vec<(Arc<BoxBody>, Value)> = Vec::with_capacity(overlay.len());
+            for (id, (body, value, node)) in overlay {
+                winners.insert(id, node);
+                writes.push((body, value));
+            }
+            let mut reads: Vec<Arc<BoxBody>> = Vec::new();
+            let mut seen: HashSet<BoxId> = HashSet::new();
+            for &n in &included {
+                for (id, entry) in nodes[n].reads.lock().iter() {
+                    if matches!(entry.origin, ReadOrigin::Global(_)) && seen.insert(*id) {
+                        reads.push(entry.body.clone());
+                    }
+                }
+            }
+            Ok((writes, winners, reads))
+        };
+        let (writes, winners, reads) = match gathered {
+            Ok(g) => g,
+            Err(e) => return Err(e),
+        };
+        if self.is_doomed() {
+            return Err(CommitFail::Internal);
+        }
+        // 5. Validate + publish through the multi-versioned substrate.
+        //    Charge the bus for the published writes.
+        let n_writes = writes.len() as u64;
+        let version = if writes.is_empty() {
+            self.snapshot_version()
+        } else {
+            match raw::commit_raw(&tm.stm, self.snapshot_version(), reads.iter(), writes) {
+                Ok(v) => v,
+                Err(_) => {
+                    tm.stats.top_aborts();
+                    return Err(CommitFail::CrossTop);
+                }
+            }
+        };
+        if n_writes > 0 {
+            ctx.charge(0, n_writes * tm.cfg.costs.write_mem);
+        }
+        // 6. Publish commit info and resolve escaping futures.
+        *self.committed.lock() = Some(CommitInfo { version, winners });
+        let futures: Vec<Arc<FutureCore>> = self.futures.lock().clone();
+        for fut in &futures {
+            *fut.spawn_commit_version.lock() = Some(version);
+            if fut.state() == FutState::Completed && fut.escape.lock().is_none() {
+                self.resolve_escape(fut);
+            }
+            tm.clock.notify_all(&fut.event);
+        }
+        tm.stats.top_commits();
+        Ok(())
+    }
+
+    /// SO: "T's commit request has to be necessarily blocked until all the
+    /// futures spawned by T have committed."
+    fn settle_wait_all(&self, tm: &Arc<TmInner>) {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 1_000_000, "settle_wait_all spinning");
+            let futures: Vec<Arc<FutureCore>> = self.futures.lock().clone();
+            let before = futures.len();
+            let all_settled = futures.iter().all(|f| {
+                matches!(
+                    f.state(),
+                    FutState::Serialized | FutState::Failed | FutState::Cancelled
+                )
+            });
+            if all_settled && self.futures.lock().len() == before {
+                return;
+            }
+            if self.is_cancelled() || self.is_doomed() {
+                return;
+            }
+            let top_change = self.change.clone();
+            let me = self;
+            tm.clock.wait_until(&top_change, || {
+                me.is_cancelled()
+                    || me.is_doomed()
+                    || me.futures.lock().iter().all(|f| {
+                        matches!(
+                            f.state(),
+                            FutState::Serialized | FutState::Failed | FutState::Cancelled
+                        )
+                    })
+            });
+        }
+    }
+
+    /// LAC: implicitly evaluate every unserialized future before commit,
+    /// in completion order ("no constraint is imposed on the order in
+    /// which they are implicitly evaluated").
+    fn settle_lac(self: &Arc<Self>, ctx: &mut TxCtx) -> Result<(), StmError> {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 1_000_000, "settle_lac spinning");
+            if self.is_cancelled() || self.is_doomed() {
+                return Ok(()); // commit will notice and restart
+            }
+            let pending: Vec<Arc<FutureCore>> = self
+                .futures
+                .lock()
+                .iter()
+                .filter(|f| matches!(f.state(), FutState::Running | FutState::Completed))
+                .cloned()
+                .collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            // Prefer one that already completed (straggler avoidance);
+            // otherwise wait for any change.
+            let target = pending
+                .iter()
+                .find(|f| f.state() == FutState::Completed)
+                .cloned();
+            match target {
+                Some(fut) => match ctx.evaluate_core(&fut, true) {
+                    Ok(_) => {}
+                    // An explicitly-aborted future has no effects to
+                    // include; the implicit evaluation just settles it.
+                    Err(StmError::UserAbort) => {}
+                    Err(StmError::Conflict) => return Err(StmError::Conflict),
+                },
+                None => {
+                    let me = self.clone();
+                    ctx.tm.clock.wait_until(&self.change, move || {
+                        me.is_cancelled()
+                            || me.is_doomed()
+                            || me
+                                .futures
+                                .lock()
+                                .iter()
+                                .any(|f| f.state() != FutState::Running)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Resolves an escaped future's external read-set against the
+    /// spawner's committed state (§4.2 GAC).
+    fn resolve_escape(&self, core: &Arc<FutureCore>) {
+        let committed = self.committed.lock();
+        let info = match committed.as_ref() {
+            Some(i) => i,
+            None => return, // spawner never committed; stays unresolved
+        };
+        let final_node = core.final_node.lock().expect("completed future");
+        let nodes = self.nodes.read();
+        let (_, g) = self.graph.snapshot();
+        let members = Self::subtree_members(&g, core.node, final_node);
+        let mut poisoned = false;
+        let mut reads: Vec<(Arc<BoxBody>, u64)> = Vec::new();
+        for (body, origin) in Self::external_reads(&nodes, &members) {
+            match origin {
+                ReadOrigin::Global(v) => reads.push((body, v)),
+                ReadOrigin::Ancestor(a) => {
+                    // The observed ancestor value is revalidatable only if
+                    // it is exactly what the spawner committed for the box.
+                    if info.winners.get(&raw::id_of(&body)) == Some(&a) {
+                        reads.push((body, info.version));
+                    } else {
+                        poisoned = true;
+                    }
+                }
+            }
+        }
+        let writes: Vec<(Arc<BoxBody>, Value)> = Self::overlay_writes(&g, &nodes, &members)
+            .into_iter()
+            .map(|(_, (body, value, _))| (body, value))
+            .collect();
+        *core.escape.lock() = Some(EscapeRecord {
+            reads,
+            writes,
+            poisoned,
+        });
+    }
+}
+
+/// Worker-side execution of a future's body, with internal retry.
+pub(crate) fn run_future_body(tm: Arc<TmInner>, top: Arc<TopLevel>, core: Arc<FutureCore>) {
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 100_000, "run_future_body retry spinning");
+        if top.is_cancelled() {
+            core.set_state(FutState::Cancelled);
+            tm.clock.notify_all(&core.event);
+            tm.clock.notify_all(&top.change);
+            return;
+        }
+        let node_arc = top.node_arc(core.node);
+        let mut ctx = TxCtx::new(tm.clone(), top.clone(), node_arc);
+        ctx.set_owner(core.clone());
+        match (core.body)(&mut ctx) {
+            Ok(value) => {
+                let final_node = ctx.node.id;
+                ctx.node.freeze();
+                if tm.cfg.semantics.ordering == OrderingSemantics::Strong {
+                    // JTF serializes futures at their submission points *in
+                    // spawn order*: a future's commit waits for every
+                    // earlier-submitted future of the same top-level. This
+                    // is the source of the paper's straggler effect (Fig. 3).
+                    wait_for_earlier_futures(&tm, &top, &core);
+                }
+                match top.complete_future(&tm, &core, final_node, value) {
+                    FutureCommitOutcome::Doomed => {
+                        tm.stats.internal_aborts();
+                        top.cancel_children(&tm, &core);
+                        if top.is_cancelled() || core.state() == FutState::Cancelled {
+                            core.set_state(FutState::Cancelled);
+                            tm.clock.notify_all(&core.event);
+                            tm.clock.notify_all(&top.change);
+                            return;
+                        }
+                        top.reset_node(core.node, NodeKind::Future);
+                        continue;
+                    }
+                    _ => return,
+                }
+            }
+            Err(StmError::Conflict) => {
+                if crate::trace_enabled() {
+                    eprintln!("[trace] future {} body conflict, retrying", core.id);
+                }
+                tm.stats.internal_aborts();
+                top.cancel_children(&tm, &core);
+                if top.is_cancelled() || core.state() == FutState::Cancelled {
+                    core.set_state(FutState::Cancelled);
+                    tm.clock.notify_all(&core.event);
+                    tm.clock.notify_all(&top.change);
+                    return;
+                }
+                top.reset_node(core.node, NodeKind::Future);
+                continue;
+            }
+            Err(StmError::UserAbort) => {
+                core.set_state(FutState::Failed);
+                tm.clock.notify_all(&core.event);
+                tm.clock.notify_all(&top.change);
+                return;
+            }
+        }
+    }
+}
+
+/// SO in-spawn-order commit: block until every future registered before
+/// `core` under `top` has settled (or the top-level was abandoned).
+fn wait_for_earlier_futures(tm: &Arc<TmInner>, top: &Arc<TopLevel>, core: &Arc<FutureCore>) {
+    let top2 = top.clone();
+    let core2 = core.clone();
+    tm.clock.wait_until(&top.change, move || {
+        if top2.is_cancelled() || core2.state() == FutState::Cancelled {
+            return true;
+        }
+        let futures = top2.futures.lock();
+        for f in futures.iter() {
+            if Arc::ptr_eq(f, &core2) {
+                return true;
+            }
+            if matches!(f.state(), FutState::Running | FutState::Adopting) {
+                return false;
+            }
+        }
+        true
+    });
+}

@@ -1,0 +1,209 @@
+//! Histories: interleaved operation sequences of transactions and futures.
+
+/// Identifier of a (sub-)transaction: a top-level transaction or a
+/// transactional future. One shared namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u32);
+
+/// A shared variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// One operation in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read of a variable, recording which (sub-)transaction's write was
+    /// observed (`None` = the initial / snapshot value predating every
+    /// writer in this history).
+    Read(Var, Option<TxId>),
+    Write(Var),
+    /// Submission of a transactional future.
+    Submit(TxId),
+    /// Evaluation of a transactional future. `implicit` marks evaluations
+    /// inserted by LAC semantics rather than by the program.
+    Evaluate(TxId, bool),
+    Commit,
+    Abort,
+}
+
+/// One event: an operation issued by a (sub-)transaction, positioned in
+/// the global real-time order by its index in [`History::events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub issuer: TxId,
+    pub op: Op,
+}
+
+/// An interleaved execution history over transactions and futures.
+///
+/// Build one with the fluent recorder API; the order of recorder calls is
+/// the real-time order of the history. Continuation operations are issued
+/// by the *enclosing* (sub-)transaction (the one that called
+/// [`History::submit`]); future bodies are issued by the future's own id.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    pub events: Vec<Event>,
+    next_tx: u32,
+    tops: Vec<TxId>,
+    futures: Vec<(TxId, TxId)>, // (future, spawner)
+}
+
+impl History {
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Begins a new top-level transaction.
+    pub fn begin_top(&mut self) -> TxId {
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.tops.push(id);
+        id
+    }
+
+    /// Records `issuer` submitting a new transactional future and returns
+    /// the future's id.
+    pub fn submit(&mut self, issuer: TxId) -> TxId {
+        let fut = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.futures.push((fut, issuer));
+        self.events.push(Event {
+            issuer,
+            op: Op::Submit(fut),
+        });
+        fut
+    }
+
+    /// Records a read that observed the initial (pre-history) value.
+    pub fn read(&mut self, issuer: TxId, var: Var) {
+        self.events.push(Event {
+            issuer,
+            op: Op::Read(var, None),
+        });
+    }
+
+    /// Records a read that observed `writer`'s write to `var`.
+    pub fn read_observing(&mut self, issuer: TxId, var: Var, writer: TxId) {
+        self.events.push(Event {
+            issuer,
+            op: Op::Read(var, Some(writer)),
+        });
+    }
+
+    pub fn write(&mut self, issuer: TxId, var: Var) {
+        self.events.push(Event {
+            issuer,
+            op: Op::Write(var),
+        });
+    }
+
+    pub fn evaluate(&mut self, issuer: TxId, future: TxId) {
+        self.events.push(Event {
+            issuer,
+            op: Op::Evaluate(future, false),
+        });
+    }
+
+    pub fn commit(&mut self, issuer: TxId) {
+        self.events.push(Event {
+            issuer,
+            op: Op::Commit,
+        });
+    }
+
+    pub fn abort(&mut self, issuer: TxId) {
+        self.events.push(Event {
+            issuer,
+            op: Op::Abort,
+        });
+    }
+
+    /// All top-level transaction ids, in creation order.
+    pub fn tops(&self) -> &[TxId] {
+        &self.tops
+    }
+
+    /// All `(future, spawner)` pairs, in submission order.
+    pub fn futures(&self) -> &[(TxId, TxId)] {
+        &self.futures
+    }
+
+    /// The spawner of `future`, if `future` is a future.
+    pub fn spawner_of(&self, future: TxId) -> Option<TxId> {
+        self.futures
+            .iter()
+            .find(|(f, _)| *f == future)
+            .map(|(_, s)| *s)
+    }
+
+    /// The top-level transaction a (sub-)transaction belongs to by the
+    /// *spawning* chain (a future's "home" top-level).
+    pub fn top_of(&self, tx: TxId) -> TxId {
+        let mut cur = tx;
+        while let Some(spawner) = self.spawner_of(cur) {
+            cur = spawner;
+        }
+        cur
+    }
+
+    /// The id of the (sub-)transaction that evaluates `future` first
+    /// (explicitly), if any.
+    pub fn evaluator_of(&self, future: TxId) -> Option<TxId> {
+        self.events.iter().find_map(|e| match e.op {
+            Op::Evaluate(f, _) if f == future => Some(e.issuer),
+            _ => None,
+        })
+    }
+
+    /// True when `future` escapes: it is never (explicitly) evaluated by a
+    /// (sub-)transaction belonging to its spawning top-level transaction.
+    pub fn escapes(&self, future: TxId) -> bool {
+        let home = self.top_of(future);
+        match self.evaluator_of(future) {
+            Some(evaluator) => self.top_of(evaluator) != home,
+            None => true,
+        }
+    }
+
+    /// Returns a copy with LAC's implicit evaluations inserted: for each
+    /// top-level transaction `T` and each escaping future (transitively)
+    /// spawned under `T`, an implicit `Evaluate` is inserted immediately
+    /// before `T`'s commit event.
+    pub fn with_implicit_lac_evaluations(&self) -> History {
+        let mut out = self.clone();
+        for &top in &self.tops {
+            // Futures homed under `top` that no sub-transaction of `top`
+            // evaluates before (or without) top's commit.
+            let strays: Vec<TxId> = self
+                .futures
+                .iter()
+                .map(|(f, _)| *f)
+                .filter(|&f| self.top_of(f) == top)
+                .filter(|&f| {
+                    self.evaluator_of(f)
+                        .map(|e| self.top_of(e) != top)
+                        .unwrap_or(true)
+                })
+                .collect();
+            if strays.is_empty() {
+                continue;
+            }
+            let commit_pos = out
+                .events
+                .iter()
+                .position(|e| e.issuer == top && e.op == Op::Commit);
+            if let Some(pos) = commit_pos {
+                for (k, f) in strays.iter().enumerate() {
+                    out.events.insert(
+                        pos + k,
+                        Event {
+                            issuer: top,
+                            op: Op::Evaluate(*f, true),
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's example executions (Figures 1a–1d, 2 and 4), encoded as
+//! [`History`] values with explicit read observations.
+//!
+//! Each constructor returns `(history, ids...)` so tests can interrogate
+//! specific vertices. Where the paper's figure admits several concrete
+//! runs (a figure depicts ops, not observations), we provide one
+//! constructor per interesting run.
+
+use crate::history::{History, TxId, Var};
+
+pub const X: Var = Var(0);
+pub const Y: Var = Var(1);
+pub const Z: Var = Var(2);
+pub const K: Var = Var(3);
+
+/// Fig. 1a, run where `TF` serialized **at submission**: the continuation
+/// observed the future's increment of `x`.
+///
+/// `T: w(x); submit TF; [TF: r(x)=T, w(x)]; C: r(x)=TF, w(x); eval TF;
+/// r(x)=C, w(y); commit`
+pub fn fig1a_serialized_at_submission() -> (History, TxId, TxId) {
+    let mut h = History::new();
+    let t = h.begin_top();
+    h.write(t, X);
+    let f = h.submit(t);
+    h.read_observing(f, X, t);
+    h.write(f, X);
+    h.commit(f);
+    h.read_observing(t, X, f); // continuation saw the future's write
+    h.write(t, X);
+    h.evaluate(t, f);
+    h.read_observing(t, X, t); // continuation's own write is the newest
+    h.write(t, Y);
+    h.commit(t);
+    (h, t, f)
+}
+
+/// Fig. 1a, run where `TF` serialized **upon evaluation**: the future
+/// observed the continuation's increment.
+pub fn fig1a_serialized_at_evaluation() -> (History, TxId, TxId) {
+    let mut h = History::new();
+    let t = h.begin_top();
+    h.write(t, X);
+    let f = h.submit(t);
+    h.read_observing(t, X, t); // continuation reads its own top's write
+    h.write(t, X);
+    h.read_observing(f, X, t); // future saw the continuation's write
+    h.commit(f);
+    h.evaluate(t, f);
+    h.read_observing(t, X, f);
+    h.write(t, Y);
+    h.commit(t);
+    (h, t, f)
+}
+
+/// Fig. 1a, an **invalid** run: the future and the continuation each
+/// missed the other's write to `x` (neither serialization order explains
+/// both reads).
+pub fn fig1a_torn() -> (History, TxId, TxId) {
+    let mut h = History::new();
+    let t = h.begin_top();
+    h.write(t, X);
+    let f = h.submit(t);
+    h.read_observing(f, X, t); // future missed the continuation
+    h.write(f, X);
+    h.commit(f);
+    h.read_observing(t, X, t); // continuation missed the future
+    h.write(t, X);
+    h.evaluate(t, f);
+    h.write(t, Y);
+    h.commit(t);
+    (h, t, f)
+}
+
+/// Fig. 2: the continuation misses the future's write — aborts with SO,
+/// commits with WO (serialization upon evaluation).
+///
+/// `TF: r(x)=init, w(z); C: r(z)=init, w(y); eval; commit`
+pub fn fig2() -> (History, TxId, TxId) {
+    let mut h = History::new();
+    let t = h.begin_top();
+    let f = h.submit(t);
+    h.read(f, X);
+    h.write(f, Z);
+    h.commit(f);
+    h.read(t, Z); // misses TF's write to z
+    h.write(t, Y);
+    h.evaluate(t, f);
+    h.commit(t);
+    (h, t, f)
+}
+
+/// Fig. 1b: escaping future evaluated within the same top-level
+/// transaction. `TF2` (spawned by `TF1`) must observe the writes of its
+/// cross-sub-transaction continuation — `w(x)` by `TF1` and `w(y)` by
+/// `T0` — atomically. This is the consistent run (sees both).
+pub fn fig1b_consistent() -> (History, TxId, TxId, TxId) {
+    let mut h = History::new();
+    let t0 = h.begin_top();
+    let f1 = h.submit(t0);
+    let f2 = h.submit(f1); // TF1 submits TF2, then writes x
+    h.write(f1, X);
+    h.commit(f1);
+    h.write(t0, Y);
+    h.read_observing(f2, X, f1);
+    h.read_observing(f2, Y, t0);
+    h.commit(f2);
+    h.evaluate(t0, f2);
+    h.commit(t0);
+    (h, t0, f1, f2)
+}
+
+/// Fig. 1b, torn run: `TF2` saw `TF1`'s `w(x)` but missed `T0`'s `w(y)` —
+/// its continuation was not atomic. Must be rejected.
+pub fn fig1b_torn() -> (History, TxId, TxId, TxId) {
+    let mut h = History::new();
+    let t0 = h.begin_top();
+    let f1 = h.submit(t0);
+    let f2 = h.submit(f1);
+    h.write(f1, X);
+    h.commit(f1);
+    h.write(t0, Y);
+    h.read_observing(f2, X, f1);
+    h.read(f2, Y); // missed w(y): torn continuation
+    h.commit(f2);
+    h.evaluate(t0, f2);
+    h.commit(t0);
+    (h, t0, f1, f2)
+}
+
+/// Fig. 1c: escaping future across top-level transactions (GAC pattern).
+///
+/// `T1: r(x)=init, w(z), submit TF; C: w(x:=f), r(y)=init, commit T1;
+/// TF: r(z)=T1, w(y), commit; T2: r(x)=T1, eval TF, w(z), commit.`
+///
+/// `TF` misses `T2`'s `w(z)` (it ran before it) and `T1`'s continuation
+/// misses `TF`'s `w(y)`, so `TF` can only serialize upon its evaluation
+/// inside `T2` — legal under WO+GAC only.
+pub fn fig1c() -> (History, TxId, TxId, TxId) {
+    let mut h = History::new();
+    let t1 = h.begin_top();
+    h.read(t1, X);
+    h.write(t1, Z);
+    let f = h.submit(t1);
+    h.read_observing(f, Z, t1);
+    h.write(t1, X); // publish the future's reference
+    h.read(t1, Y); // misses TF's w(y)
+    h.commit(t1);
+    h.write(f, Y);
+    h.commit(f);
+    let t2 = h.begin_top();
+    h.read_observing(t2, X, t1); // picks up the reference
+    h.evaluate(t2, f);
+    h.write(t2, Z);
+    h.commit(t2);
+    (h, t1, f, t2)
+}
+
+/// Fig. 4: a computation beyond fork-join parallel nesting — two futures
+/// with partially overlapping continuations. Consistent run: `TF1`
+/// observed neither `w(x)` nor `w(y)` (serializes at submission), `TF2`
+/// observed both `w(y)` and `w(z)` (serializes upon evaluation).
+pub fn fig4_consistent() -> (History, TxId, TxId, TxId) {
+    let mut h = History::new();
+    let t0 = h.begin_top();
+    let f1 = h.submit(t0);
+    h.write(t0, X);
+    let f2 = h.submit(t0);
+    h.write(t0, Y);
+    h.read(f1, X);
+    h.read(f1, Y);
+    h.commit(f1);
+    h.write(t0, Z);
+    h.read_observing(f2, Y, t0);
+    h.read_observing(f2, Z, t0);
+    h.commit(f2);
+    h.evaluate(t0, f1);
+    h.evaluate(t0, f2);
+    h.commit(t0);
+    (h, t0, f1, f2)
+}
+
+/// Fig. 4, torn run for `TF1`: it observed `w(x)` but missed `w(y)`,
+/// breaking the atomicity of its continuation. Must be rejected under
+/// every semantics.
+pub fn fig4_torn_tf1() -> (History, TxId, TxId, TxId) {
+    let mut h = History::new();
+    let t0 = h.begin_top();
+    let f1 = h.submit(t0);
+    h.write(t0, X);
+    let f2 = h.submit(t0);
+    h.write(t0, Y);
+    h.read_observing(f1, X, t0);
+    h.read(f1, Y); // torn: saw x but not y
+    h.commit(f1);
+    h.write(t0, Z);
+    h.read_observing(f2, Y, t0);
+    h.read_observing(f2, Z, t0);
+    h.commit(f2);
+    h.evaluate(t0, f1);
+    h.evaluate(t0, f2);
+    h.commit(t0);
+    (h, t0, f1, f2)
+}
+
+/// Fig. 4, torn run for `TF2`: it observed `w(y)` but missed `w(z)` —
+/// i.e. it serialized *between* the two writes of its continuation.
+pub fn fig4_torn_tf2() -> (History, TxId, TxId, TxId) {
+    let mut h = History::new();
+    let t0 = h.begin_top();
+    let f1 = h.submit(t0);
+    h.write(t0, X);
+    let f2 = h.submit(t0);
+    h.write(t0, Y);
+    h.read(f1, X);
+    h.read(f1, Y);
+    h.commit(f1);
+    h.write(t0, Z);
+    h.read_observing(f2, Y, t0);
+    h.read(f2, Z); // torn: saw y but not z
+    h.commit(f2);
+    h.evaluate(t0, f1);
+    h.evaluate(t0, f2);
+    h.commit(t0);
+    (h, t0, f1, f2)
+}
+
+/// A classic non-serializable two-top-level interleaving (no futures):
+/// each transaction reads the initial value of the variable the other
+/// writes. Must be rejected regardless of futures semantics.
+pub fn cross_top_nonserializable() -> History {
+    let mut h = History::new();
+    let t1 = h.begin_top();
+    let t2 = h.begin_top();
+    h.read(t1, X);
+    h.read(t2, Y);
+    h.write(t1, Y);
+    h.write(t2, X);
+    h.commit(t1);
+    h.commit(t2);
+    h
+}

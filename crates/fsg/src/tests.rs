@@ -1,0 +1,343 @@
+//! Acceptance-matrix tests: the paper's example histories against the
+//! four semantics.
+
+use crate::paper;
+use crate::{build_fsg, Semantics, VertexKind};
+
+fn accepts(h: &crate::History, sem: Semantics) -> bool {
+    build_fsg(h, sem).acceptable()
+}
+
+#[test]
+fn fig1a_submission_run_accepted_by_both_orderings() {
+    let (h, _, _) = paper::fig1a_serialized_at_submission();
+    assert!(accepts(&h, Semantics::SO), "SO accepts submission order");
+    assert!(accepts(&h, Semantics::WO_GAC), "WO accepts submission order");
+    assert!(accepts(&h, Semantics::WO_LAC));
+}
+
+#[test]
+fn fig1a_evaluation_run_rejected_by_so_accepted_by_wo() {
+    let (h, _, _) = paper::fig1a_serialized_at_evaluation();
+    assert!(
+        !accepts(&h, Semantics::SO),
+        "SO forbids serialization upon evaluation"
+    );
+    assert!(accepts(&h, Semantics::WO_GAC));
+    assert!(accepts(&h, Semantics::WO_LAC));
+}
+
+#[test]
+fn fig1a_torn_run_rejected_by_all() {
+    let (h, _, _) = paper::fig1a_torn();
+    assert!(!accepts(&h, Semantics::SO));
+    assert!(!accepts(&h, Semantics::WO_GAC));
+    assert!(!accepts(&h, Semantics::WO_LAC));
+}
+
+#[test]
+fn fig2_continuation_aborts_with_so_but_not_wo() {
+    // The paper's Figure 2 caption verbatim: "This continuation aborts
+    // with SO, but not with WO."
+    let (h, _, _) = paper::fig2();
+    assert!(!accepts(&h, Semantics::SO));
+    assert!(accepts(&h, Semantics::WO_GAC));
+    assert!(accepts(&h, Semantics::WO_LAC));
+}
+
+#[test]
+fn fig1b_escaping_within_top_level() {
+    let (h, _, _, _) = paper::fig1b_consistent();
+    assert!(accepts(&h, Semantics::WO_GAC));
+    assert!(accepts(&h, Semantics::WO_LAC));
+    let (torn, _, _, _) = paper::fig1b_torn();
+    assert!(
+        !accepts(&torn, Semantics::WO_GAC),
+        "TF2 must observe both continuation writes or none"
+    );
+    assert!(!accepts(&torn, Semantics::WO_LAC));
+}
+
+#[test]
+fn fig1c_escaping_across_top_levels_needs_wo_gac() {
+    let (h, _, _, _) = paper::fig1c();
+    assert!(
+        accepts(&h, Semantics::WO_GAC),
+        "GAC admits cross-transaction continuations"
+    );
+    assert!(
+        !accepts(&h, Semantics::SO),
+        "SO would require the continuation to see w(y)"
+    );
+}
+
+#[test]
+fn fig4_beyond_parallel_nesting() {
+    let (h, _, _, _) = paper::fig4_consistent();
+    assert!(accepts(&h, Semantics::WO_GAC));
+    let (t1, _, _, _) = paper::fig4_torn_tf1();
+    assert!(!accepts(&t1, Semantics::WO_GAC), "TF1 torn continuation");
+    assert!(!accepts(&t1, Semantics::SO));
+    let (t2, _, _, _) = paper::fig4_torn_tf2();
+    assert!(
+        !accepts(&t2, Semantics::WO_GAC),
+        "TF2 serialized between w(y) and w(z)"
+    );
+    assert!(!accepts(&t2, Semantics::SO));
+}
+
+#[test]
+fn cross_top_level_write_skew_rejected() {
+    let h = paper::cross_top_nonserializable();
+    assert!(!accepts(&h, Semantics::SO));
+    assert!(!accepts(&h, Semantics::WO_GAC));
+    assert!(!accepts(&h, Semantics::WO_LAC));
+}
+
+#[test]
+fn plain_serial_tops_accepted() {
+    let mut h = crate::History::new();
+    let t1 = h.begin_top();
+    h.read(t1, paper::X);
+    h.write(t1, paper::X);
+    h.commit(t1);
+    let t2 = h.begin_top();
+    h.read_observing(t2, paper::X, t1);
+    h.write(t2, paper::Y);
+    h.commit(t2);
+    assert!(accepts(&h, Semantics::SO));
+    assert!(accepts(&h, Semantics::WO_GAC));
+}
+
+#[test]
+fn vertex_structure_of_fig1a_matches_fig5a() {
+    // Fig. 5a: V_begin(T) = {w(x), submit}, V_C-begin(TF) = {r,w},
+    // V_eval = {eval, r, w(y), commit}, V_begin(TF) = {r, w, commit}.
+    let (h, t, f) = paper::fig1a_serialized_at_submission();
+    let fsg = build_fsg(&h, Semantics::WO_GAC);
+    let t_vertices: Vec<_> = fsg.vertices.iter().filter(|v| v.issuer == t).collect();
+    assert_eq!(t_vertices.len(), 3, "T splits into begin/C-begin/eval");
+    assert!(matches!(t_vertices[0].kind, VertexKind::Begin(_)));
+    assert_eq!(t_vertices[0].ops.len(), 2); // w(x), submit
+    assert!(matches!(t_vertices[1].kind, VertexKind::CBegin(g) if g == f));
+    assert_eq!(t_vertices[1].ops.len(), 2); // r(x), w(x)
+    assert!(matches!(t_vertices[2].kind, VertexKind::Eval(g) if g == f));
+    assert_eq!(t_vertices[2].ops.len(), 4); // eval, r, w(y), commit
+    let f_vertices: Vec<_> = fsg.vertices.iter().filter(|v| v.issuer == f).collect();
+    assert_eq!(f_vertices.len(), 1);
+    assert_eq!(f_vertices[0].ops.len(), 3); // r, w, commit
+}
+
+#[test]
+fn so_adds_end_to_cbegin_edge() {
+    let (h, _, f) = paper::fig1a_serialized_at_submission();
+    let so = build_fsg(&h, Semantics::SO);
+    let end = so.v_end(f).unwrap();
+    let cbegin = so.v_cbegin(f).unwrap();
+    assert!(
+        so.polygraph.edges.contains(&(end, cbegin)),
+        "SO pins the future before its continuation"
+    );
+}
+
+#[test]
+fn wo_adds_bipath_per_evaluated_future() {
+    let (h, _, f) = paper::fig1a_serialized_at_submission();
+    let wo = build_fsg(&h, Semantics::WO_GAC);
+    let end = wo.v_end(f).unwrap();
+    let cbegin = wo.v_cbegin(f).unwrap();
+    let begin = wo.v_begin(f).unwrap();
+    // Among the polygraph's bipaths (the semantics one plus any conflict
+    // triangles) exactly one is the future's serialization choice:
+    // (V_C-end -> V_begin(F)) or (V_end(F) -> V_C-begin(F)).
+    let semantic: Vec<_> = wo
+        .polygraph
+        .bipaths
+        .iter()
+        .filter(|((_, b1), (a2, b2))| *b1 == begin && (*a2, *b2) == (end, cbegin))
+        .collect();
+    assert_eq!(semantic.len(), 1);
+    // The SO graph must not carry that bipath (it uses the fixed edge).
+    let so = build_fsg(&h, Semantics::SO);
+    assert!(!so
+        .polygraph
+        .bipaths
+        .iter()
+        .any(|((_, b1), (a2, b2))| *b1 == begin && (*a2, *b2) == (end, cbegin)));
+}
+
+#[test]
+fn unevaluated_committed_future_must_serialize_at_submission() {
+    // A future that commits but is never evaluated has no evaluation
+    // serialization point: under WO it behaves like SO.
+    let mut h = crate::History::new();
+    let t = h.begin_top();
+    let f = h.submit(t);
+    h.read(f, paper::X);
+    h.write(f, paper::Z);
+    h.commit(f);
+    h.read(t, paper::Z); // misses the future's write: invalid at submission
+    h.commit(t);
+    // Under GAC the unevaluated future is its own scope and the top-level
+    // read that missed its write is a plain cross-unit conflict the
+    // submission-point edge contradicts.
+    assert!(!accepts(&h, Semantics::WO_GAC));
+    // LAC inserts an implicit evaluation before T's commit, giving the
+    // future an evaluation serialization point: accepted.
+    assert!(accepts(&h, Semantics::WO_LAC));
+    assert!(!accepts(&h, Semantics::SO));
+}
+
+#[test]
+fn lac_implicit_evaluation_insertion() {
+    let mut h = crate::History::new();
+    let t = h.begin_top();
+    let f = h.submit(t);
+    h.write(f, paper::X);
+    h.commit(f);
+    h.commit(t);
+    let extended = h.with_implicit_lac_evaluations();
+    let evals: Vec<_> = extended
+        .events
+        .iter()
+        .filter(|e| matches!(e.op, crate::Op::Evaluate(_, true)))
+        .collect();
+    assert_eq!(evals.len(), 1, "one implicit evaluation inserted");
+    assert_eq!(evals[0].issuer, t);
+    // Inserted immediately before T's commit.
+    let pos_eval = extended
+        .events
+        .iter()
+        .position(|e| matches!(e.op, crate::Op::Evaluate(_, true)))
+        .unwrap();
+    let pos_commit = extended
+        .events
+        .iter()
+        .position(|e| e.issuer == t && e.op == crate::Op::Commit)
+        .unwrap();
+    assert_eq!(pos_eval + 1, pos_commit);
+}
+
+#[test]
+fn dot_export_renders() {
+    let (h, _, _) = paper::fig2();
+    let fsg = build_fsg(&h, Semantics::WO_GAC);
+    let dot = fsg.to_dot();
+    assert!(dot.starts_with("digraph fsg {"));
+    assert!(dot.contains("V_begin"));
+    assert!(dot.contains("style=dashed"));
+}
+
+#[test]
+fn escapes_classification() {
+    let (h, _, f, _) = paper::fig1c();
+    assert!(h.escapes(f), "fig1c's future escapes its top-level");
+    let (h2, _, f2) = paper::fig1a_serialized_at_submission();
+    assert!(!h2.escapes(f2));
+    // Fig 1b: TF2 is evaluated by T0, which IS its home top-level (via the
+    // spawning chain through TF1): not escaping in the top-level sense.
+    let (h3, _, _, tf2) = paper::fig1b_consistent();
+    assert!(!h3.escapes(tf2));
+}
+
+mod proptests {
+    use super::*;
+    use crate::{History, Var};
+    use proptest::prelude::*;
+
+    /// Random histories of serially-executed top-level transactions (each
+    /// observes the previous committed writer) must always be accepted.
+    proptest! {
+        #[test]
+        fn serial_histories_always_accepted(ops in proptest::collection::vec((0u32..4, 0u32..3), 1..30)) {
+            let mut h = History::new();
+            let mut last_writer: [Option<crate::TxId>; 4] = [None; 4];
+            for chunk in ops.chunks(3) {
+                let t = h.begin_top();
+                for &(var, kind) in chunk {
+                    let v = Var(var);
+                    match kind {
+                        0 => match last_writer[var as usize] {
+                            Some(w) => h.read_observing(t, v, w),
+                            None => h.read(t, v),
+                        },
+                        _ => {
+                            h.write(t, v);
+                            last_writer[var as usize] = Some(t);
+                        }
+                    }
+                }
+                h.commit(t);
+            }
+            prop_assert!(accepts(&h, Semantics::SO));
+            prop_assert!(accepts(&h, Semantics::WO_GAC));
+            prop_assert!(accepts(&h, Semantics::WO_LAC));
+        }
+
+        /// SO acceptance implies WO acceptance (WO is strictly more
+        /// permissive: its bipath includes the SO edge as one branch) for
+        /// non-escaping single-top histories.
+        #[test]
+        fn so_accept_implies_wo_accept(seed in 0u64..500) {
+            let h = random_single_top_history(seed);
+            if accepts(&h, Semantics::SO) {
+                prop_assert!(accepts(&h, Semantics::WO_GAC));
+                prop_assert!(accepts(&h, Semantics::WO_LAC));
+            }
+        }
+    }
+
+    /// Generates a single-top-level history with a couple of futures and
+    /// randomized observations (not necessarily consistent ones).
+    fn random_single_top_history(seed: u64) -> History {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut h = History::new();
+        let t = h.begin_top();
+        let mut subs = vec![t];
+        let mut writers: Vec<crate::TxId> = Vec::new();
+        let nops = 4 + (next() % 8) as usize;
+        let mut futures = Vec::new();
+        for _ in 0..nops {
+            let issuer = subs[(next() % subs.len() as u64) as usize];
+            match next() % 4 {
+                0 => {
+                    let f = h.submit(issuer);
+                    subs.push(f);
+                    futures.push(f);
+                }
+                1 => {
+                    let var = Var((next() % 3) as u32);
+                    h.write(issuer, var);
+                    writers.push(issuer);
+                }
+                _ => {
+                    let var = Var((next() % 3) as u32);
+                    if !writers.is_empty() && next() % 2 == 0 {
+                        let w = writers[(next() % writers.len() as u64) as usize];
+                        if w != issuer {
+                            h.read_observing(issuer, var, w);
+                        } else {
+                            h.read(issuer, var);
+                        }
+                    } else {
+                        h.read(issuer, var);
+                    }
+                }
+            }
+        }
+        for &f in &futures {
+            h.commit(f);
+        }
+        for &f in &futures {
+            h.evaluate(t, f);
+        }
+        h.commit(t);
+        h
+    }
+}

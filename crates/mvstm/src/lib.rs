@@ -1,0 +1,162 @@
+//! # wtf-mvstm — multi-versioned software transactional memory
+//!
+//! A from-scratch Rust analogue of **JVSTM** (Cachopo & Rito-Silva,
+//! "Versioned boxes as the basis for memory transactions"), the substrate
+//! the paper builds WTF-TM on. The design mirrors JVSTM's essentials:
+//!
+//! * **Versioned boxes** ([`VBox<T>`]): every transactional location keeps
+//!   a chain of `(version, value)` pairs, newest first.
+//! * **Global version clock**: committing writers install their write-set
+//!   atomically at `clock + 1`.
+//! * **Snapshot reads**: a transaction reads the newest version no newer
+//!   than its begin snapshot, so *every* read observes a consistent memory
+//!   snapshot — this gives opacity without per-read validation, and lets
+//!   **read-only transactions commit without any validation** (JVSTM's
+//!   signature property).
+//! * **Commit-time validation** for update transactions: under the commit
+//!   lock, every read must still be current (no version newer than the
+//!   snapshot), otherwise the transaction aborts and is re-executed.
+//! * **Version GC** driven by an active-transaction registry (JVSTM's
+//!   `ActiveTransactionsRecord`): version chains are pruned down to the
+//!   oldest snapshot still in use.
+//!
+//! The crate exposes two levels:
+//!
+//! * the user-level [`Stm::atomic`] / [`Txn`] API — this *is* the plain
+//!   "JVSTM" baseline of the paper's evaluation (top-level transactions,
+//!   no intra-transaction parallelism), and
+//! * the [`raw`] module — snapshots, versioned reads and raw multi-box
+//!   commits — used by `wtf-core` to layer transactional futures on top,
+//!   exactly as WTF-TM layers on JVSTM ("we abstract the mechanisms used
+//!   to regulate concurrency among top-level transactions").
+//!
+//! ## Example
+//!
+//! ```
+//! use wtf_mvstm::{Stm, VBox};
+//!
+//! let stm = Stm::new();
+//! let acc_a = VBox::new(&stm, 100i64);
+//! let acc_b = VBox::new(&stm, 0i64);
+//!
+//! stm.atomic(|tx| {
+//!     let a = tx.read(&acc_a)?;
+//!     tx.write(&acc_a, a - 30)?;
+//!     let b = tx.read(&acc_b)?;
+//!     tx.write(&acc_b, b + 30)?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! assert_eq!(stm.atomic(|tx| tx.read(&acc_b)).unwrap(), 30);
+//! ```
+
+mod hash;
+mod registry;
+mod stats;
+mod txn;
+mod value;
+mod vbox;
+
+pub mod raw;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use stats::{StmStats, StmStatsSnapshot};
+pub use txn::{Aborted, StmError, Txn, TxResult};
+pub use value::{BoxId, TxValue, Value};
+pub use vbox::VBox;
+
+use registry::ActiveRegistry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub(crate) struct StmInner {
+    /// Global version clock; committed state has versions `0..=clock`.
+    pub(crate) clock: AtomicU64,
+    /// Serializes validate+publish of update transactions.
+    pub(crate) commit_lock: parking_lot::Mutex<()>,
+    pub(crate) registry: ActiveRegistry,
+    pub(crate) stats: StmStats,
+    pub(crate) next_box: AtomicU64,
+    /// When false, version chains grow without bound (ablation knob).
+    pub(crate) gc_enabled: AtomicBool,
+}
+
+/// A software transactional memory instance.
+///
+/// Cheap to clone (all clones share state). All [`VBox`]es are tied to the
+/// `Stm` they were created in.
+#[derive(Clone)]
+pub struct Stm {
+    pub(crate) inner: Arc<StmInner>,
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stm {
+    pub fn new() -> Stm {
+        Stm {
+            inner: Arc::new(StmInner {
+                clock: AtomicU64::new(0),
+                commit_lock: parking_lot::Mutex::new(()),
+                registry: ActiveRegistry::new(),
+                stats: StmStats::new(),
+                next_box: AtomicU64::new(0),
+                gc_enabled: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// Current value of the global version clock.
+    pub fn clock(&self) -> u64 {
+        self.inner.clock.load(Ordering::Acquire)
+    }
+
+    /// Enables/disables old-version garbage collection (ablation knob,
+    /// benchmarked in `wtf-bench`'s `vbox_ops`).
+    pub fn set_gc_enabled(&self, enabled: bool) {
+        self.inner.gc_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Counters: commits, aborts, read-only commits, version prunings.
+    pub fn stats(&self) -> StmStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Runs `f` as an atomic transaction, retrying on conflict until it
+    /// commits. Returns `Err(Aborted)` only when `f` requests an explicit
+    /// abort via [`Txn::abort`].
+    pub fn atomic<T>(&self, mut f: impl FnMut(&mut Txn) -> TxResult<T>) -> Result<T, Aborted> {
+        loop {
+            let mut tx = Txn::begin(self);
+            match f(&mut tx) {
+                Ok(value) => match tx.commit() {
+                    Ok(()) => return Ok(value),
+                    Err(StmError::Conflict) => {
+                        self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(StmError::UserAbort) => return Err(Aborted),
+                },
+                Err(StmError::Conflict) => {
+                    self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Err(StmError::UserAbort) => return Err(Aborted),
+            }
+        }
+    }
+
+    /// Like [`Stm::atomic`] but panics on explicit abort; convenient when
+    /// the body never aborts.
+    pub fn atomic_infallible<T>(&self, f: impl FnMut(&mut Txn) -> TxResult<T>) -> T {
+        self.atomic(f).expect("transaction aborted explicitly")
+    }
+}
+
+#[cfg(test)]
+mod tests;

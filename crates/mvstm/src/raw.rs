@@ -1,0 +1,117 @@
+//! Low-level hooks used by `wtf-core` to layer transactional futures on
+//! top of the multi-versioned substrate, mirroring how WTF-TM layers on
+//! JVSTM. Regular applications should use [`Stm::atomic`] instead.
+
+use crate::value::{BoxId, TxValue, Value};
+pub use crate::vbox::BoxBody;
+use crate::{Stm, StmError, VBox};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// RAII registration of a begin-snapshot with the active-transaction
+/// registry; keeps versions at-or-after the snapshot from being pruned.
+pub struct Snapshot {
+    stm: Stm,
+    version: u64,
+}
+
+impl Snapshot {
+    /// The version this snapshot reads at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.stm.inner.registry.deregister(self.version);
+    }
+}
+
+/// Begins a snapshot at the current clock (registered atomically with the
+/// clock read; see `ActiveRegistry::register_current` for the GC-race
+/// argument).
+pub fn acquire_snapshot(stm: &Stm) -> Snapshot {
+    let version = stm.inner.registry.register_current(&stm.inner.clock);
+    Snapshot {
+        stm: stm.clone(),
+        version,
+    }
+}
+
+/// The untyped body behind a typed box handle.
+pub fn body_of<T: TxValue>(vbox: &VBox<T>) -> Arc<BoxBody> {
+    vbox.body.clone()
+}
+
+/// Id of an untyped body.
+pub fn id_of(body: &BoxBody) -> BoxId {
+    body.id
+}
+
+/// Reads the newest version of `body` visible at `snapshot`, returning
+/// `(observed_version, value)`.
+pub fn read_at(body: &BoxBody, snapshot: u64) -> (u64, Value) {
+    body.read_at(snapshot)
+}
+
+/// Newest committed version number of `body` (no snapshot filtering).
+pub fn head_version(body: &BoxBody) -> u64 {
+    body.head_version()
+}
+
+/// Validates-and-publishes a write-set against `snapshot`.
+///
+/// Under the global commit lock, every body in `reads` must have no
+/// version newer than `snapshot` (i.e. every value the transaction read is
+/// still current), after which all `writes` are installed atomically at
+/// `clock + 1`. Returns the new commit version.
+///
+/// With all reads re-validated at the commit point, the transaction is
+/// logically instantaneous at commit time, which yields serializability
+/// even in the presence of blind writes.
+pub fn commit_raw<'a>(
+    stm: &Stm,
+    snapshot: u64,
+    reads: impl IntoIterator<Item = &'a Arc<BoxBody>>,
+    writes: Vec<(Arc<BoxBody>, Value)>,
+) -> Result<u64, StmError> {
+    debug_assert!(!writes.is_empty(), "read-only commits skip commit_raw");
+    let inner = &stm.inner;
+    let _guard = inner.commit_lock.lock();
+    for body in reads {
+        if body.head_version() > snapshot {
+            return Err(StmError::Conflict);
+        }
+    }
+    let new_version = inner.clock.load(Ordering::Acquire) + 1;
+    let gc = inner.gc_enabled.load(Ordering::Relaxed);
+    let bodies: Vec<Arc<BoxBody>> = writes.iter().map(|(b, _)| b.clone()).collect();
+    for (body, value) in writes {
+        body.install(new_version, value);
+    }
+    // Publish: the release store pairs with the acquire loads in
+    // `acquire_snapshot`, making all installed versions visible to any
+    // transaction that snapshots at `new_version`. GC runs only after
+    // publication, so its horizon (taken under the registry lock) cannot
+    // miss a concurrent registration at the pre-publication clock.
+    inner.clock.store(new_version, Ordering::Release);
+    let mut pruned = 0usize;
+    if gc {
+        let min_active = inner.registry.min_active_excluding(snapshot, new_version);
+        for body in &bodies {
+            pruned += body.prune(min_active);
+        }
+    }
+    inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+    inner
+        .stats
+        .versions_pruned
+        .fetch_add(pruned as u64, Ordering::Relaxed);
+    Ok(new_version)
+}
+
+/// Number of distinct snapshots currently registered (diagnostics).
+pub fn active_snapshots(stm: &Stm) -> usize {
+    stm.inner.registry.active_snapshots()
+}

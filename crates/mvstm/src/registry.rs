@@ -1,0 +1,69 @@
+//! Active-transaction registry: JVSTM's `ActiveTransactionsRecord`.
+//!
+//! Tracks which snapshot versions are still in use so that commit-time GC
+//! can prune version chains down to the oldest live snapshot.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+pub(crate) struct ActiveRegistry {
+    /// snapshot version -> number of active transactions begun there.
+    active: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl ActiveRegistry {
+    pub(crate) fn new() -> Self {
+        ActiveRegistry {
+            active: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Atomically reads the clock and registers a transaction at that
+    /// snapshot, under the registry lock.
+    ///
+    /// The lock closes the registration/GC race: a committer computes its
+    /// GC horizon under the same lock *after* publishing the new clock
+    /// value, so either this registration is visible to it (the snapshot's
+    /// versions are kept) or the published clock is visible to us (we
+    /// snapshot at the new version, which is never pruned).
+    pub(crate) fn register_current(&self, clock: &std::sync::atomic::AtomicU64) -> u64 {
+        let mut m = self.active.lock();
+        let snapshot = clock.load(std::sync::atomic::Ordering::Acquire);
+        *m.entry(snapshot).or_insert(0) += 1;
+        snapshot
+    }
+
+    /// Deregisters a transaction that began at `snapshot`.
+    pub(crate) fn deregister(&self, snapshot: u64) {
+        let mut m = self.active.lock();
+        match m.get_mut(&snapshot) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                m.remove(&snapshot);
+            }
+            None => unreachable!("deregister without matching register"),
+        }
+    }
+
+    /// Oldest snapshot still in use, or `fallback` (the current clock) if
+    /// no transaction is active: versions older than this are unreachable.
+    ///
+    /// `excluding` discounts one registration at that version — the
+    /// committing transaction's own snapshot, which dies with the commit
+    /// and must not pin old versions on its own behalf.
+    pub(crate) fn min_active_excluding(&self, excluding: u64, fallback: u64) -> u64 {
+        let m = self.active.lock();
+        for (&version, &count) in m.iter() {
+            if version == excluding && count == 1 {
+                continue;
+            }
+            return version;
+        }
+        fallback
+    }
+
+    /// Number of distinct active snapshots (diagnostics).
+    pub(crate) fn active_snapshots(&self) -> usize {
+        self.active.lock().len()
+    }
+}

@@ -1,0 +1,57 @@
+//! STM-level counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters. Relaxed ordering throughout: these are
+/// statistics, not synchronization.
+pub struct StmStats {
+    pub(crate) commits: AtomicU64,
+    pub(crate) read_only_commits: AtomicU64,
+    pub(crate) aborts: AtomicU64,
+    pub(crate) versions_pruned: AtomicU64,
+}
+
+impl StmStats {
+    pub(crate) fn new() -> Self {
+        StmStats {
+            commits: AtomicU64::new(0),
+            read_only_commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            versions_pruned: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of the [`StmStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StmStatsSnapshot {
+    /// Successful top-level commits (update + read-only).
+    pub commits: u64,
+    /// Commits that needed no validation because the transaction read only.
+    pub read_only_commits: u64,
+    /// Commit- or read-time conflicts that forced a re-execution.
+    pub aborts: u64,
+    /// Old versions removed by commit-time GC.
+    pub versions_pruned: u64,
+}
+
+impl StmStatsSnapshot {
+    /// Aborts / (commits + aborts); 0 when idle.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}

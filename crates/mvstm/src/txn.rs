@@ -1,0 +1,116 @@
+//! User-level top-level transactions (the plain "JVSTM" baseline).
+
+use crate::hash::FxHashMap;
+use crate::raw::{self, Snapshot};
+use crate::value::{downcast_value, BoxId, TxValue, Value};
+use crate::vbox::BoxBody;
+use crate::{Stm, VBox};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Why a transactional operation could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmError {
+    /// Concurrency conflict; the transaction must be re-executed.
+    Conflict,
+    /// The program explicitly aborted the transaction.
+    UserAbort,
+}
+
+/// The transaction was explicitly aborted by the program (not retried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
+impl std::fmt::Display for Aborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted explicitly")
+    }
+}
+
+impl std::error::Error for Aborted {}
+
+/// Result type of transactional operations and bodies.
+pub type TxResult<T> = Result<T, StmError>;
+
+/// An in-flight top-level transaction. Created by [`Stm::atomic`].
+pub struct Txn<'s> {
+    stm: &'s Stm,
+    snapshot: Snapshot,
+    read_set: FxHashMap<BoxId, Arc<BoxBody>>,
+    write_set: FxHashMap<BoxId, (Arc<BoxBody>, Value)>,
+}
+
+impl<'s> Txn<'s> {
+    pub(crate) fn begin(stm: &'s Stm) -> Txn<'s> {
+        Txn {
+            stm,
+            snapshot: raw::acquire_snapshot(stm),
+            read_set: FxHashMap::default(),
+            write_set: FxHashMap::default(),
+        }
+    }
+
+    /// The snapshot version this transaction reads at.
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// Transactional read. Sees the transaction's own writes, else the
+    /// begin snapshot. Never observes an inconsistent state (opacity by
+    /// multi-versioning), hence never fails on its own — the `TxResult`
+    /// return type exists for signature uniformity with the futures-aware
+    /// contexts in `wtf-core`, where reads can detect dooming.
+    pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> TxResult<T> {
+        if let Some((_, v)) = self.write_set.get(&vbox.body.id) {
+            return Ok(downcast_value(v));
+        }
+        let (_, value) = vbox.body.read_at(self.snapshot.version());
+        self.read_set
+            .entry(vbox.body.id)
+            .or_insert_with(|| vbox.body.clone());
+        Ok(downcast_value(&value))
+    }
+
+    /// Transactional write: buffered privately until commit.
+    pub fn write<T: TxValue>(&mut self, vbox: &VBox<T>, value: T) -> TxResult<()> {
+        self.write_set
+            .insert(vbox.body.id, (vbox.body.clone(), Arc::new(value)));
+        Ok(())
+    }
+
+    /// Explicitly aborts: [`Stm::atomic`] will *not* retry.
+    pub fn abort<T>(&mut self) -> TxResult<T> {
+        Err(StmError::UserAbort)
+    }
+
+    /// Number of boxes read so far (excluding write-only accesses).
+    pub fn reads(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of boxes written so far.
+    pub fn writes(&self) -> usize {
+        self.write_set.len()
+    }
+
+    pub(crate) fn commit(self) -> Result<(), StmError> {
+        let stm = self.stm;
+        if self.write_set.is_empty() {
+            // The multi-version property: read-only transactions observed a
+            // consistent snapshot and can commit with no validation at all.
+            stm.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+            stm.inner
+                .stats
+                .read_only_commits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        raw::commit_raw(
+            stm,
+            self.snapshot.version(),
+            self.read_set.values(),
+            self.write_set.into_values().collect(),
+        )?;
+        Ok(())
+    }
+}

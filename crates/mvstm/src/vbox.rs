@@ -1,0 +1,147 @@
+//! Versioned boxes: the JVSTM storage cell.
+
+use crate::value::{downcast_value, BoxId, TxValue, Value};
+use crate::Stm;
+use parking_lot::RwLock;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// One committed version of a box's value.
+pub(crate) struct Version {
+    pub(crate) version: u64,
+    pub(crate) value: Value,
+}
+
+/// The untyped body shared by all handles to one box.
+pub struct BoxBody {
+    pub(crate) id: BoxId,
+    /// Version chain, **newest first**. Guarded by a read-write lock: reads
+    /// take the shared lock for a short binary search; only committing
+    /// writers take it exclusively (briefly, under the global commit lock).
+    pub(crate) versions: RwLock<Vec<Version>>,
+}
+
+impl BoxBody {
+    /// Newest committed version number.
+    pub(crate) fn head_version(&self) -> u64 {
+        self.versions.read()[0].version
+    }
+
+    /// Reads the newest version with `version <= snapshot`, returning the
+    /// version number observed alongside the value.
+    pub(crate) fn read_at(&self, snapshot: u64) -> (u64, Value) {
+        let chain = self.versions.read();
+        for v in chain.iter() {
+            if v.version <= snapshot {
+                return (v.version, v.value.clone());
+            }
+        }
+        // Unreachable through the public API: every box is born with a
+        // version stamped at-or-before any snapshot taken after its
+        // creation, and GC never removes the last version <= min_active.
+        panic!(
+            "VBox {:?}: no version visible at snapshot {} (oldest retained: {}); \
+             was the box created after the reading transaction began?",
+            self.id,
+            snapshot,
+            chain.last().map(|v| v.version).unwrap_or(u64::MAX)
+        );
+    }
+
+    /// Installs `value` at `version` (newest). Called only under the
+    /// commit lock. Pruning happens separately ([`BoxBody::prune`]) after
+    /// the commit publishes the new clock value.
+    pub(crate) fn install(&self, version: u64, value: Value) {
+        let mut chain = self.versions.write();
+        debug_assert!(chain[0].version < version, "versions must be monotonic");
+        chain.insert(0, Version { version, value });
+    }
+
+    /// Drops versions no active snapshot can observe: keeps every version
+    /// newer than `min_active` plus the newest one at-or-below it.
+    pub(crate) fn prune(&self, min_active: u64) -> usize {
+        let mut chain = self.versions.write();
+        if let Some(keep_idx) = chain.iter().position(|v| v.version <= min_active) {
+            let pruned = chain.len() - keep_idx - 1;
+            chain.truncate(keep_idx + 1);
+            pruned
+        } else {
+            0
+        }
+    }
+
+    /// Number of retained versions (diagnostics / GC tests).
+    pub(crate) fn chain_len(&self) -> usize {
+        self.versions.read().len()
+    }
+}
+
+/// A transactional memory location holding values of type `T`.
+///
+/// The typed, clonable handle over a shared [`BoxBody`]. All access goes
+/// through a transaction ([`Txn::read`](crate::Txn::read) /
+/// [`Txn::write`](crate::Txn::write)) or through the `wtf-core`
+/// futures-aware contexts layered on [`crate::raw`].
+pub struct VBox<T> {
+    pub(crate) body: Arc<BoxBody>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for VBox<T> {
+    fn clone(&self) -> Self {
+        VBox {
+            body: self.body.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: TxValue> VBox<T> {
+    /// Creates a box initialized to `value`.
+    ///
+    /// The initial version is stamped with the *current* clock value, so
+    /// the box is visible to every transaction whose snapshot is at or
+    /// after the creation point. (Creating boxes *inside* a transaction
+    /// and publishing them through another box is supported: the handle
+    /// value committed through the STM carries the `Arc`.)
+    pub fn new(stm: &Stm, value: T) -> VBox<T> {
+        let id = BoxId(stm.inner.next_box.fetch_add(1, Ordering::Relaxed));
+        let version = stm.inner.clock.load(Ordering::Acquire);
+        VBox {
+            body: Arc::new(BoxBody {
+                id,
+                versions: RwLock::new(vec![Version {
+                    version,
+                    value: Arc::new(value),
+                }]),
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    /// This box's id.
+    pub fn id(&self) -> BoxId {
+        self.body.id
+    }
+
+    /// Reads the latest committed value, outside any transaction.
+    ///
+    /// Useful for inspecting results after a benchmark run; not
+    /// serializable with respect to anything.
+    pub fn read_latest(&self) -> T {
+        let (_, v) = self.body.read_at(u64::MAX);
+        downcast_value(&v)
+    }
+
+    /// Number of retained versions (GC diagnostics).
+    pub fn version_chain_len(&self) -> usize {
+        self.body.chain_len()
+    }
+}
+
+impl<T> std::fmt::Debug for VBox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VBox({:?})", self.body.id)
+    }
+}

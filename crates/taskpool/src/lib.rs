@@ -1,0 +1,309 @@
+//! # wtf-taskpool — clock-aware task pool
+//!
+//! Transactional futures need somewhere to run. The paper's WTF-TM
+//! activates "a parallel thread in which T will be executed" for every
+//! `submit`; this crate provides that substrate as a fixed pool of worker
+//! threads registered with a [`Clock`](wtf_vclock::Clock), so that future
+//! bodies execute under virtual time in simulation mode and as plain OS
+//! threads in real mode.
+//!
+//! Workers block on a queue event while idle; pushing a task wakes one up
+//! at the submitter's (virtual) timestamp, which models the inter-thread
+//! communication latency of future activation via an explicit
+//! `dispatch_cost`.
+//!
+//! The pool is sized by the caller. The paper dedicates one thread per
+//! in-flight future, and the figure harnesses do the same; a pool smaller
+//! than the maximum number of simultaneously *blocking* tasks can deadlock
+//! (and the virtual clock will say so loudly rather than hang).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use wtf_vclock::{Clock, Event, JoinHandle};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    clock: Clock,
+    queue: Mutex<VecDeque<Task>>,
+    /// Notified when a task is pushed or shutdown begins.
+    available: Event,
+    shutdown: AtomicBool,
+    /// Number of workers currently executing a task (diagnostics).
+    busy: AtomicUsize,
+}
+
+/// A fixed-size pool of clock-registered worker threads.
+pub struct TaskPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+    /// Virtual cost charged to the submitter per dispatch, modeling the
+    /// cost of waking a remote thread (cache-line transfer + futex).
+    dispatch_cost: u64,
+}
+
+impl TaskPool {
+    /// Creates a pool with `workers` worker threads under `clock`.
+    ///
+    /// Must be called from a thread registered with `clock` (i.e. inside
+    /// [`Clock::enter`] or a clock-spawned thread).
+    pub fn new(clock: &Clock, workers: usize) -> TaskPool {
+        Self::with_dispatch_cost(clock, workers, 0)
+    }
+
+    /// Like [`TaskPool::new`], charging `dispatch_cost` clock units to every
+    /// submitter.
+    pub fn with_dispatch_cost(clock: &Clock, workers: usize, dispatch_cost: u64) -> TaskPool {
+        assert!(workers > 0, "a task pool needs at least one worker");
+        let inner = Arc::new(PoolInner {
+            clock: clock.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            available: clock.new_event(),
+            shutdown: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                clock.spawn(&format!("pool-worker-{i}"), move || worker_loop(&inner))
+            })
+            .collect();
+        TaskPool {
+            inner,
+            workers: handles,
+            dispatch_cost,
+        }
+    }
+
+    /// The clock this pool runs under.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Enqueues `task` for execution on some worker. Fire-and-forget; use
+    /// [`TaskPool::submit`] for a joinable handle.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        assert!(
+            !self.inner.shutdown.load(Ordering::Relaxed),
+            "execute on a shut-down pool"
+        );
+        self.inner.clock.advance(self.dispatch_cost);
+        self.inner.queue.lock().push_back(Box::new(task));
+        self.inner.clock.notify_all(&self.inner.available);
+    }
+
+    /// Enqueues `task` and returns a handle to wait for its result.
+    pub fn submit<T: Send + 'static>(
+        &self,
+        task: impl FnOnce() -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        let slot = Arc::new(Mutex::new(None));
+        let done = self.inner.clock.new_event();
+        let clock = self.inner.clock.clone();
+        let s2 = slot.clone();
+        let d2 = done.clone();
+        let c2 = clock.clone();
+        self.execute(move || {
+            let out = task();
+            *s2.lock() = Some(out);
+            c2.notify_all(&d2);
+        });
+        TaskHandle { slot, done, clock }
+    }
+
+    /// Number of workers currently executing tasks.
+    pub fn busy_workers(&self) -> usize {
+        self.inner.busy.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting tasks, drains the queue, and joins all workers.
+    ///
+    /// Must be called from a clock thread before the enclosing
+    /// [`Clock::enter`] returns.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.clock.notify_all(&self.inner.available);
+        for h in self.workers.drain(..) {
+            h.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        // `shutdown` drains `workers`; a nonempty list here means the pool
+        // was dropped without an orderly shutdown. Under a virtual clock
+        // the leaked workers would trip the scheduler's leak detection with
+        // a confusing message, so fail fast with a clear one.
+        if !self.workers.is_empty() && !std::thread::panicking() {
+            panic!("TaskPool dropped without shutdown(); workers would leak");
+        }
+    }
+}
+
+/// Handle to a task submitted with [`TaskPool::submit`].
+pub struct TaskHandle<T> {
+    slot: Arc<Mutex<Option<T>>>,
+    done: Event,
+    clock: Clock,
+}
+
+impl<T> TaskHandle<T> {
+    /// Blocks (in clock time) until the task completes and returns its result.
+    pub fn join(self) -> T {
+        let slot = self.slot.clone();
+        self.clock.wait_until(&self.done, || slot.lock().is_some());
+        self.slot.lock().take().expect("task result present")
+    }
+
+    /// Returns the result if the task already completed.
+    pub fn try_join(&self) -> Option<T> {
+        self.slot.lock().take()
+    }
+
+    /// True once the task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let task = {
+            let mut q = inner.queue.lock();
+            q.pop_front()
+        };
+        match task {
+            Some(task) => {
+                inner.busy.fetch_add(1, Ordering::Relaxed);
+                task();
+                inner.busy.fetch_sub(1, Ordering::Relaxed);
+            }
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let inner2 = inner;
+                inner.clock.wait_until(&inner.available, || {
+                    inner2.shutdown.load(Ordering::SeqCst)
+                        || !inner2.queue.lock().is_empty()
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_tasks_real() {
+        let clock = Clock::real_nospin();
+        let total = clock.enter(|| {
+            let pool = TaskPool::new(&Clock::current(), 4);
+            let handles: Vec<_> = (0..32u64).map(|i| pool.submit(move || i * 2)).collect();
+            let sum: u64 = handles.into_iter().map(|h| h.join()).sum();
+            pool.shutdown();
+            sum
+        });
+        assert_eq!(total, (0..32u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn runs_tasks_virtual_and_parallel_in_vtime() {
+        let clock = Clock::virtual_time();
+        clock.enter(|| {
+            let c = Clock::current();
+            let pool = TaskPool::new(&c, 8);
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    pool.submit(|| {
+                        Clock::current().advance(1_000);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            pool.shutdown();
+        });
+        // 8 tasks of 1000 units on 8 workers run fully parallel.
+        assert_eq!(clock.makespan(), 1_000);
+    }
+
+    #[test]
+    fn queueing_serializes_when_pool_small() {
+        let clock = Clock::virtual_time();
+        clock.enter(|| {
+            let c = Clock::current();
+            let pool = TaskPool::new(&c, 2);
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    pool.submit(|| {
+                        Clock::current().advance(1_000);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            pool.shutdown();
+        });
+        // 8 x 1000 units over 2 workers = 4000 units of virtual makespan.
+        assert_eq!(clock.makespan(), 4_000);
+    }
+
+    #[test]
+    fn dispatch_cost_charged_to_submitter() {
+        let clock = Clock::virtual_time();
+        clock.enter(|| {
+            let c = Clock::current();
+            let pool = TaskPool::with_dispatch_cost(&c, 1, 250);
+            let h = pool.submit(|| {});
+            h.join();
+            assert_eq!(c.now(), 250);
+            pool.shutdown();
+        });
+    }
+
+    #[test]
+    fn nested_submission() {
+        let clock = Clock::virtual_time();
+        let out = clock.enter(|| {
+            let c = Clock::current();
+            let pool = Arc::new(TaskPool::new(&c, 4));
+            let p2 = pool.clone();
+            let h = pool.submit(move || {
+                let inner = p2.submit(|| 21u64);
+                inner.join() * 2
+            });
+            let v = h.join();
+            Arc::into_inner(pool).unwrap().shutdown();
+            v
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn try_join_nonblocking() {
+        let clock = Clock::real_nospin();
+        clock.enter(|| {
+            let pool = TaskPool::new(&Clock::current(), 1);
+            let gate = Arc::new(AtomicBool::new(false));
+            let g2 = gate.clone();
+            let h = pool.submit(move || {
+                while !g2.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                5u32
+            });
+            assert!(!h.is_finished());
+            gate.store(true, Ordering::Release);
+            assert_eq!(h.join(), 5);
+            pool.shutdown();
+        });
+    }
+}

@@ -1,0 +1,89 @@
+//! Events: the blocking primitive shared by both clock modes.
+//!
+//! An event is a wakeup channel with no payload. Real mode implements it as
+//! a generation counter plus a condition variable (the usual lost-wakeup-free
+//! pattern: notifiers bump the generation *after* making their state change
+//! visible, waiters re-check their predicate whenever the generation moves).
+//! Virtual mode stores an index into the scheduler's waiter table; the
+//! cooperative scheduler makes the check-then-wait sequence atomic.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub struct Event {
+    inner: EventImpl,
+}
+
+#[derive(Clone)]
+enum EventImpl {
+    Real(Arc<RealEvent>),
+    Virtual(usize),
+}
+
+struct RealEvent {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Event {
+    pub(crate) fn new_real() -> Event {
+        Event {
+            inner: EventImpl::Real(Arc::new(RealEvent {
+                generation: Mutex::new(0),
+                cv: Condvar::new(),
+            })),
+        }
+    }
+
+    pub(crate) fn new_virtual(id: usize) -> Event {
+        Event {
+            inner: EventImpl::Virtual(id),
+        }
+    }
+
+    pub(crate) fn virtual_id(&self) -> usize {
+        match &self.inner {
+            EventImpl::Virtual(id) => *id,
+            EventImpl::Real(_) => panic!("real event used with a virtual clock"),
+        }
+    }
+
+    pub(crate) fn real_wait_until(&self, pred: &mut dyn FnMut() -> bool) {
+        let ev = match &self.inner {
+            EventImpl::Real(ev) => ev,
+            EventImpl::Virtual(_) => panic!("virtual event used with a real clock"),
+        };
+        let mut generation = ev.generation.lock();
+        loop {
+            // The predicate reads state guarded by its own synchronization
+            // (atomics / other mutexes). Notifiers change that state first,
+            // then bump `generation` under this lock, so if we observe a
+            // stale predicate we are guaranteed to also observe the coming
+            // generation bump.
+            if pred() {
+                return;
+            }
+            ev.cv.wait(&mut generation);
+        }
+    }
+
+    pub(crate) fn real_notify_all(&self) {
+        let ev = match &self.inner {
+            EventImpl::Real(ev) => ev,
+            EventImpl::Virtual(_) => panic!("virtual event used with a real clock"),
+        };
+        let mut generation = ev.generation.lock();
+        *generation = generation.wrapping_add(1);
+        ev.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            EventImpl::Real(_) => write!(f, "Event::Real"),
+            EventImpl::Virtual(id) => write!(f, "Event::Virtual({id})"),
+        }
+    }
+}

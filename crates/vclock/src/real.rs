@@ -1,0 +1,44 @@
+//! Real-time clock: OS threads, wall-clock time, calibrated spin work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub(crate) struct RealClock {
+    origin: Instant,
+    spin: bool,
+    next_tid: AtomicUsize,
+}
+
+impl RealClock {
+    pub(crate) fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+            spin: true,
+            next_tid: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn new_nospin() -> Self {
+        RealClock {
+            origin: Instant::now(),
+            spin: false,
+            next_tid: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn register(&self) -> usize {
+        self.next_tid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn deregister(&self) {}
+
+    pub(crate) fn now(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn advance(&self, cost: u64) {
+        if self.spin {
+            crate::spin::spin_work(cost);
+        }
+    }
+}

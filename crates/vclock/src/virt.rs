@@ -1,0 +1,305 @@
+//! The deterministic discrete-event scheduler behind `Clock::virtual_time`.
+//!
+//! Exactly one virtual thread holds the *execution token* at any instant;
+//! everyone else is parked on a per-thread gate. A thread releases the token
+//! when it advances its clock past another ready thread's timestamp, blocks
+//! on an event, or finishes. The scheduler then wakes the ready thread with
+//! the smallest `(time, seq)` pair — `seq` is the FIFO arrival order, which
+//! makes tie-breaking (and therefore the whole simulation) deterministic.
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Holds the execution token.
+    Running,
+    /// In the runnable heap, waiting to be scheduled.
+    Ready,
+    /// Parked on an event.
+    Blocked,
+    /// Deregistered.
+    Finished,
+}
+
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    go: bool,
+    poisoned: bool,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        let mut g = self.state.lock();
+        g.go = true;
+        self.cv.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut g = self.state.lock();
+        g.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn pass(&self) {
+        let mut g = self.state.lock();
+        while !g.go {
+            if g.poisoned {
+                panic!("virtual clock poisoned by a panicking thread");
+            }
+            self.cv.wait(&mut g);
+        }
+        g.go = false;
+    }
+}
+
+struct ThreadSlot {
+    time: u64,
+    state: TState,
+    gate: Arc<Gate>,
+}
+
+struct Sched {
+    threads: Vec<ThreadSlot>,
+    /// Min-heap of ready threads keyed by (time, seq).
+    runnable: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+    /// Registered and not yet finished.
+    live: usize,
+    /// Per-resource "free at" horizon.
+    resources: Vec<u64>,
+    /// Per-event list of blocked thread ids.
+    events: Vec<Vec<usize>>,
+    makespan: u64,
+    poisoned: bool,
+}
+
+pub(crate) struct VirtualClock {
+    sched: Mutex<Sched>,
+}
+
+impl VirtualClock {
+    pub(crate) fn new() -> Self {
+        VirtualClock {
+            sched: Mutex::new(Sched {
+                threads: Vec::new(),
+                runnable: BinaryHeap::new(),
+                seq: 0,
+                live: 0,
+                resources: Vec::new(),
+                events: Vec::new(),
+                makespan: 0,
+                poisoned: false,
+            }),
+        }
+    }
+
+    pub(crate) fn register_root(&self) -> usize {
+        let mut g = self.sched.lock();
+        assert!(
+            !g.threads.iter().any(|t| t.state == TState::Running),
+            "a root thread is already running under this virtual clock"
+        );
+        let tid = g.threads.len();
+        let start_time = g.makespan;
+        g.threads.push(ThreadSlot {
+            time: start_time,
+            state: TState::Running,
+            gate: Gate::new(),
+        });
+        g.live += 1;
+        tid
+    }
+
+    pub(crate) fn register_child(&self, parent: usize) -> usize {
+        let mut g = self.sched.lock();
+        let time = g.threads[parent].time;
+        let tid = g.threads.len();
+        g.threads.push(ThreadSlot {
+            time,
+            state: TState::Ready,
+            gate: Gate::new(),
+        });
+        g.live += 1;
+        let seq = g.seq;
+        g.seq += 1;
+        g.runnable.push(Reverse((time, seq, tid)));
+        tid
+    }
+
+    /// First call made by a child OS thread: park until scheduled.
+    pub(crate) fn start_child(&self, tid: usize) {
+        let gate = self.sched.lock().threads[tid].gate.clone();
+        gate.pass();
+    }
+
+    pub(crate) fn now(&self, tid: usize) -> u64 {
+        self.sched.lock().threads[tid].time
+    }
+
+    pub(crate) fn makespan(&self) -> u64 {
+        self.sched.lock().makespan
+    }
+
+    pub(crate) fn new_resource(&self) -> crate::Resource {
+        let mut g = self.sched.lock();
+        g.resources.push(0);
+        crate::Resource(g.resources.len() - 1)
+    }
+
+    pub(crate) fn new_event(&self) -> usize {
+        let mut g = self.sched.lock();
+        g.events.push(Vec::new());
+        g.events.len() - 1
+    }
+
+    pub(crate) fn advance(&self, me: usize, dt: u64) {
+        let mut g = self.sched.lock();
+        debug_assert_eq!(g.threads[me].state, TState::Running);
+        g.threads[me].time += dt;
+        self.maybe_yield(g, me);
+    }
+
+    pub(crate) fn acquire(&self, me: usize, res: crate::Resource, cost: u64) {
+        let mut g = self.sched.lock();
+        debug_assert_eq!(g.threads[me].state, TState::Running);
+        let start = g.threads[me].time.max(g.resources[res.0]);
+        let end = start + cost;
+        g.resources[res.0] = end;
+        g.threads[me].time = end;
+        self.maybe_yield(g, me);
+    }
+
+    /// After `me`'s time moved forward, hand the token to an earlier ready
+    /// thread if one exists. Holding on to the token when we are still the
+    /// minimum is the fast path that keeps long runs of small advances cheap.
+    fn maybe_yield(&self, mut g: parking_lot::MutexGuard<'_, Sched>, me: usize) {
+        let my_time = g.threads[me].time;
+        match g.runnable.peek() {
+            Some(&Reverse((t, _, _))) if t < my_time => {
+                let seq = g.seq;
+                g.seq += 1;
+                g.runnable.push(Reverse((my_time, seq, me)));
+                g.threads[me].state = TState::Ready;
+                let gate = Self::dispatch_next(&mut g).expect("runnable heap cannot be empty");
+                drop(g);
+                gate.map(|gt| gt.open());
+                self.park(me);
+            }
+            _ => {}
+        }
+    }
+
+    /// Pops the minimum ready thread and marks it Running. Returns the gate
+    /// to open, or `None` inside the `Some` if the popped thread is the
+    /// caller itself (no parking needed). Outer `None` = heap empty.
+    #[allow(clippy::option_option)]
+    fn dispatch_next(g: &mut Sched) -> Option<Option<Arc<Gate>>> {
+        let Reverse((_, _, tid)) = g.runnable.pop()?;
+        g.threads[tid].state = TState::Running;
+        Some(Some(g.threads[tid].gate.clone()))
+    }
+
+    fn park(&self, me: usize) {
+        let gate = self.sched.lock().threads[me].gate.clone();
+        gate.pass();
+    }
+
+    pub(crate) fn wait(&self, me: usize, event: usize) {
+        let mut g = self.sched.lock();
+        debug_assert_eq!(g.threads[me].state, TState::Running);
+        g.threads[me].state = TState::Blocked;
+        g.events[event].push(me);
+        match Self::dispatch_next(&mut g) {
+            Some(gate) => {
+                drop(g);
+                gate.map(|gt| gt.open());
+                self.park(me);
+            }
+            None => self.deadlock(g, me),
+        }
+    }
+
+    pub(crate) fn notify_all(&self, me: Option<usize>, event: usize) {
+        let mut g = self.sched.lock();
+        let now = match me {
+            Some(tid) => g.threads[tid].time,
+            // A notify from outside the clock (should not happen in normal
+            // runs) wakes waiters at their own timestamps.
+            None => 0,
+        };
+        let waiters = std::mem::take(&mut g.events[event]);
+        for w in waiters {
+            debug_assert_eq!(g.threads[w].state, TState::Blocked);
+            // A woken thread cannot resume before the notifier's present.
+            g.threads[w].time = g.threads[w].time.max(now);
+            g.threads[w].state = TState::Ready;
+            let seq = g.seq;
+            g.seq += 1;
+            let t = g.threads[w].time;
+            g.runnable.push(Reverse((t, seq, w)));
+        }
+        // The notifier keeps the token: every woken thread has time >= now,
+        // so the notifier is still a minimum. (If `me` is None there is no
+        // token holder; the next blocking operation will dispatch.)
+    }
+
+    pub(crate) fn deregister(&self, me: usize, panicked: bool) {
+        let mut g = self.sched.lock();
+        g.threads[me].state = TState::Finished;
+        g.live -= 1;
+        g.makespan = g.makespan.max(g.threads[me].time);
+        if panicked {
+            g.poisoned = true;
+            for t in &g.threads {
+                t.gate.poison();
+            }
+            return;
+        }
+        if g.live == 0 {
+            return;
+        }
+        match Self::dispatch_next(&mut g) {
+            Some(gate) => {
+                drop(g);
+                gate.map(|gt| gt.open());
+            }
+            None => self.deadlock(g, me),
+        }
+    }
+
+    /// All live threads are blocked and nobody can make progress. Poison
+    /// every gate (so parked threads unwind too) and panic.
+    fn deadlock(&self, mut g: parking_lot::MutexGuard<'_, Sched>, me: usize) -> ! {
+        g.poisoned = true;
+        let blocked: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TState::Blocked)
+            .map(|(i, _)| i)
+            .collect();
+        for t in &g.threads {
+            t.gate.poison();
+        }
+        drop(g);
+        panic!(
+            "virtual clock deadlock: thread {me} blocked with no runnable thread \
+             (blocked threads: {blocked:?})"
+        );
+    }
+}

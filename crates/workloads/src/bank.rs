@@ -1,0 +1,314 @@
+//! The Bank benchmark (§5.3, Fig. 8): replaying a log of banking
+//! operations for backup/verification.
+//!
+//! Two operations over a fixed set of accounts:
+//!
+//! * `transfer` — moves money between a list of (sender, receiver) account
+//!   pairs;
+//! * `getTotalAmount` — sums every account. Since all transfers are
+//!   internal, the total is invariant: the workload asserts this sanity
+//!   check exactly like the paper's verification process.
+//!
+//! The log is split into fixed chunks; each chunk runs as one top-level
+//! transaction. Without futures (`jvstm`), the chunk's operations execute
+//! sequentially. With futures, every operation is delegated to a future,
+//! with at most `concurrent_futures` in flight, and the two WTF variants
+//! differ in evaluation policy: **InOrder** evaluates the oldest spawned
+//! future (JTF's only option), **OutOfOrder** evaluates whichever future
+//! completes first — quantifying straggler avoidance (the long
+//! `getTotalAmount` operations straggle the short `transfer`s).
+
+use crate::harness::{run_virtual, RunResult, RunSpec, Xorshift};
+use std::sync::Arc;
+use wtf_core::{FutureTm, Semantics, TxCtx, TxFuture, TxResult, VBox};
+
+/// Evaluation policy for the futures variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPolicy {
+    /// Evaluate futures in spawning order (JTF; WTF-InOrder).
+    InOrder,
+    /// Evaluate futures as soon as any completes (WTF-OutOfOrder).
+    OutOfOrder,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct BankConfig {
+    pub accounts: usize,
+    /// (sender, receiver) pairs per transfer operation.
+    pub pairs_per_transfer: usize,
+    /// Percentage (0-100) of operations that are transfers; the rest are
+    /// getTotalAmount.
+    pub update_percent: u64,
+    /// Spin work between accesses.
+    pub iter: u64,
+    /// Operations per chunk (= per top-level transaction).
+    pub chunk_size: usize,
+    /// Chunks per client.
+    pub chunks_per_client: usize,
+    /// Max futures in flight per transaction (the thread-count axis).
+    pub concurrent_futures: usize,
+    pub initial_balance: i64,
+    pub seed: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            accounts: 1_000,
+            pairs_per_transfer: 10,
+            update_percent: 50,
+            iter: 1_000,
+            chunk_size: 16,
+            chunks_per_client: 2,
+            concurrent_futures: 8,
+            initial_balance: 1_000,
+            seed: 0xba2c,
+        }
+    }
+}
+
+struct Bank {
+    accounts: Vec<VBox<i64>>,
+}
+
+fn make_bank(tm: &FutureTm, cfg: &BankConfig) -> Bank {
+    Bank {
+        accounts: (0..cfg.accounts)
+            .map(|_| tm.new_vbox(cfg.initial_balance))
+            .collect(),
+    }
+}
+
+/// One log operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// (from, to) account index pairs.
+    Transfer(Vec<(usize, usize)>, i64),
+    GetTotalAmount,
+}
+
+fn generate_log(cfg: &BankConfig, seed: u64) -> Vec<Op> {
+    let mut rng = Xorshift::new(seed);
+    (0..cfg.chunk_size * cfg.chunks_per_client)
+        .map(|_| {
+            if rng.chance(cfg.update_percent * 10) {
+                let pairs = (0..cfg.pairs_per_transfer)
+                    .map(|_| {
+                        let from = rng.below(cfg.accounts);
+                        let mut to = rng.below(cfg.accounts);
+                        if to == from {
+                            to = (to + 1) % cfg.accounts;
+                        }
+                        (from, to)
+                    })
+                    .collect();
+                Op::Transfer(pairs, 1 + rng.below(5) as i64)
+            } else {
+                Op::GetTotalAmount
+            }
+        })
+        .collect()
+}
+
+fn apply_op(ctx: &mut TxCtx, bank: &Bank, cfg: &BankConfig, op: &Op) -> TxResult<i64> {
+    match op {
+        Op::Transfer(pairs, amount) => {
+            for &(from, to) in pairs {
+                ctx.work(cfg.iter);
+                let f = ctx.read(&bank.accounts[from])?;
+                ctx.write(&bank.accounts[from], f - amount)?;
+                let t = ctx.read(&bank.accounts[to])?;
+                ctx.write(&bank.accounts[to], t + amount)?;
+            }
+            Ok(0)
+        }
+        Op::GetTotalAmount => {
+            let mut total = 0i64;
+            for account in &bank.accounts {
+                ctx.work(cfg.iter / 16); // long scan, lighter per-element spin
+                total += ctx.read(account)?;
+            }
+            Ok(total)
+        }
+    }
+}
+
+fn expected_total(cfg: &BankConfig) -> i64 {
+    cfg.initial_balance * cfg.accounts as i64
+}
+
+/// Futures variant: each log operation is delegated to a future, at most
+/// `concurrent_futures` in flight, evaluated per `policy`. The sanity
+/// check asserts every `getTotalAmount` saw the invariant total.
+pub fn futures_replay(
+    cfg: &BankConfig,
+    semantics: Semantics,
+    policy: EvalPolicy,
+    clients: usize,
+) -> RunResult {
+    let spec = RunSpec {
+        units_per_client: (cfg.chunk_size * cfg.chunks_per_client) as u64,
+        workers: clients * cfg.concurrent_futures + 2,
+        ..RunSpec::new(semantics, clients, 1)
+    };
+    let cfg = *cfg;
+    let bank: Arc<parking_lot::Mutex<Option<Arc<Bank>>>> = Arc::new(parking_lot::Mutex::new(None));
+    run_virtual(
+        &spec,
+        Arc::new(move |client, tm| {
+            let bank = bank
+                .lock()
+                .get_or_insert_with(|| Arc::new(make_bank(tm, &cfg)))
+                .clone();
+            let log = Arc::new(generate_log(&cfg, cfg.seed ^ (client as u64) << 24));
+            let expected = expected_total(&cfg);
+            for chunk_idx in 0..cfg.chunks_per_client {
+                let bank = bank.clone();
+                let log = log.clone();
+                tm.atomic(move |ctx| {
+                    let chunk =
+                        &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
+                    let mut in_flight: Vec<TxFuture<i64>> = Vec::new();
+                    let mut kinds: Vec<bool> = Vec::new(); // is_total per in-flight
+                    let mut next = 0usize;
+                    let settle =
+                        |ctx: &mut TxCtx,
+                         in_flight: &mut Vec<TxFuture<i64>>,
+                         kinds: &mut Vec<bool>|
+                         -> TxResult<()> {
+                            let (idx, value) = match policy {
+                                EvalPolicy::InOrder => (0, ctx.evaluate(&in_flight[0])?),
+                                EvalPolicy::OutOfOrder => ctx.evaluate_any(in_flight)?,
+                            };
+                            if kinds[idx] {
+                                assert_eq!(value, expected, "getTotalAmount invariant");
+                            }
+                            in_flight.remove(idx);
+                            kinds.remove(idx);
+                            Ok(())
+                        };
+                    while next < chunk.len() {
+                        if in_flight.len() == cfg.concurrent_futures {
+                            settle(ctx, &mut in_flight, &mut kinds)?;
+                        }
+                        let op = chunk[next].clone();
+                        let bank2 = bank.clone();
+                        kinds.push(matches!(op, Op::GetTotalAmount));
+                        in_flight.push(ctx.submit(move |c| apply_op(c, &bank2, &cfg, &op))?);
+                        next += 1;
+                    }
+                    while !in_flight.is_empty() {
+                        settle(ctx, &mut in_flight, &mut kinds)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }),
+    )
+}
+
+/// No-futures variant (JVSTM): each chunk runs sequentially in one
+/// top-level transaction; `clients` chunks run concurrently.
+pub fn toplevel_replay(cfg: &BankConfig, clients: usize) -> RunResult {
+    let spec = RunSpec {
+        units_per_client: (cfg.chunk_size * cfg.chunks_per_client) as u64,
+        workers: 1,
+        ..RunSpec::new(Semantics::WO_GAC, clients, 1)
+    };
+    let cfg = *cfg;
+    let bank: Arc<parking_lot::Mutex<Option<Arc<Bank>>>> = Arc::new(parking_lot::Mutex::new(None));
+    run_virtual(
+        &spec,
+        Arc::new(move |client, tm| {
+            let bank = bank
+                .lock()
+                .get_or_insert_with(|| Arc::new(make_bank(tm, &cfg)))
+                .clone();
+            let log = Arc::new(generate_log(&cfg, cfg.seed ^ (client as u64) << 24));
+            let expected = expected_total(&cfg);
+            for chunk_idx in 0..cfg.chunks_per_client {
+                let bank = bank.clone();
+                let log = log.clone();
+                tm.atomic(move |ctx| {
+                    let chunk =
+                        &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
+                    for op in chunk {
+                        let v = apply_op(ctx, &bank, &cfg, op)?;
+                        if matches!(op, Op::GetTotalAmount) {
+                            assert_eq!(v, expected, "getTotalAmount invariant");
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }),
+    )
+}
+
+/// Sequential denominator for Fig. 8's speedups.
+pub fn sequential_replay(cfg: &BankConfig) -> RunResult {
+    toplevel_replay(cfg, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BankConfig {
+        BankConfig {
+            accounts: 64,
+            pairs_per_transfer: 3,
+            update_percent: 50,
+            iter: 64,
+            chunk_size: 8,
+            chunks_per_client: 2,
+            concurrent_futures: 4,
+            initial_balance: 100,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn invariant_holds_across_variants() {
+        // The getTotalAmount asserts inside the workload are the invariant
+        // check; completing without panicking is the test.
+        let cfg = tiny();
+        for (sem, pol) in [
+            (Semantics::WO_GAC, EvalPolicy::OutOfOrder),
+            (Semantics::WO_GAC, EvalPolicy::InOrder),
+            (Semantics::SO, EvalPolicy::InOrder),
+        ] {
+            let r = futures_replay(&cfg, sem, pol, 2);
+            assert_eq!(r.tm.top_commits, 4, "{sem:?}/{pol:?}");
+        }
+        let r = toplevel_replay(&cfg, 2);
+        assert_eq!(r.tm.top_commits, 4);
+    }
+
+    #[test]
+    fn out_of_order_not_slower_than_in_order() {
+        let cfg = BankConfig {
+            update_percent: 70,
+            ..tiny()
+        };
+        let ooo = futures_replay(&cfg, Semantics::WO_GAC, EvalPolicy::OutOfOrder, 1);
+        let ino = futures_replay(&cfg, Semantics::WO_GAC, EvalPolicy::InOrder, 1);
+        assert!(
+            ooo.makespan <= ino.makespan * 11 / 10,
+            "straggler avoidance: {} vs {}",
+            ooo.makespan,
+            ino.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = tiny();
+        let a = futures_replay(&cfg, Semantics::WO_GAC, EvalPolicy::OutOfOrder, 2);
+        let b = futures_replay(&cfg, Semantics::WO_GAC, EvalPolicy::OutOfOrder, 2);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.tm, b.tm);
+    }
+}

@@ -1,0 +1,210 @@
+//! Virtual-time measurement harness.
+
+use std::sync::Arc;
+use wtf_core::{CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
+use wtf_mvstm::StmStatsSnapshot;
+use wtf_vclock::Clock;
+
+/// Per-client workload body: `(client_index, tm)`.
+pub type ClientFn = Arc<dyn Fn(usize, &FutureTm) + Send + Sync>;
+
+/// Outcome of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Virtual makespan of the whole run (units ≈ ns on the paper's Xeon).
+    pub makespan: u64,
+    /// Work units completed (workload-defined, e.g. transactions or tasks).
+    pub completed: u64,
+    pub tm: TmStatsSnapshot,
+    pub stm: StmStatsSnapshot,
+}
+
+impl RunResult {
+    /// Completed work per virtual time unit.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan as f64
+        }
+    }
+
+    /// This run's throughput normalized to `baseline`'s.
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        let b = baseline.throughput();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.throughput() / b
+        }
+    }
+
+    /// Top-level abort rate (Figs. 7b left, 9 right).
+    pub fn top_abort_rate(&self) -> f64 {
+        self.tm.top_abort_rate()
+    }
+
+    /// Internal abort rate (Figs. 7b right, 8 bottom).
+    pub fn internal_abort_rate(&self) -> f64 {
+        self.tm.internal_abort_rate()
+    }
+}
+
+/// Parameters of a virtual-time run.
+#[derive(Clone)]
+pub struct RunSpec {
+    pub semantics: Semantics,
+    pub costs: CostModel,
+    pub memory_bus: bool,
+    /// Worker threads for future bodies.
+    pub workers: usize,
+    /// Concurrent client (top-level) threads.
+    pub clients: usize,
+    /// Work units each client contributes (for throughput accounting).
+    pub units_per_client: u64,
+}
+
+impl RunSpec {
+    pub fn new(semantics: Semantics, clients: usize, workers: usize) -> RunSpec {
+        RunSpec {
+            semantics,
+            costs: CostModel::CALIBRATED,
+            memory_bus: true,
+            workers,
+            clients,
+            units_per_client: 1,
+        }
+    }
+}
+
+/// Runs `client` on `spec.clients` virtual threads over a fresh TM under a
+/// fresh deterministic virtual clock, and measures the result.
+pub fn run_virtual(spec: &RunSpec, client: ClientFn) -> RunResult {
+    let clock = Clock::virtual_time();
+    let spec2 = spec.clone();
+    let (tm_stats, stm_stats) = clock.enter(move || {
+        let tm = FutureTm::builder()
+            .config(
+                TmConfig::new(spec2.semantics)
+                    .with_costs(spec2.costs)
+                    .with_memory_bus(spec2.memory_bus),
+            )
+            .workers(spec2.workers)
+            .build();
+        let c = Clock::current();
+        let handles: Vec<_> = (0..spec2.clients)
+            .map(|i| {
+                let tm = tm.clone();
+                let client = client.clone();
+                c.spawn(&format!("client-{i}"), move || client(i, &tm))
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let tm_stats = tm.stats();
+        let stm_stats = tm.stm().stats();
+        tm.shutdown();
+        (tm_stats, stm_stats)
+    });
+    RunResult {
+        makespan: clock.makespan(),
+        completed: spec.units_per_client * spec.clients as u64,
+        tm: tm_stats,
+        stm: stm_stats,
+    }
+}
+
+/// Deterministic xorshift64* generator for workload decisions. We keep a
+/// tiny local generator (rather than threading `rand` through every
+/// workload closure) so that runs are bit-reproducible functions of the
+/// seed and all state lives in a single `u64`.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `0..n`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// True with probability `per_mille`/1000.
+    #[inline]
+    pub fn chance(&mut self, per_mille: u64) -> bool {
+        self.next_u64() % 1000 < per_mille
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtf_core::Semantics;
+
+    #[test]
+    fn harness_measures_simple_run() {
+        let spec = RunSpec {
+            units_per_client: 4,
+            ..RunSpec::new(Semantics::WO_GAC, 2, 4)
+        };
+        let counter_holder: Arc<parking_lot::Mutex<Option<wtf_core::VBox<i64>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let ch = counter_holder.clone();
+        let res = run_virtual(
+            &spec,
+            Arc::new(move |_i, tm| {
+                let counter = {
+                    let mut g = ch.lock();
+                    g.get_or_insert_with(|| tm.new_vbox(0i64)).clone()
+                };
+                for _ in 0..4 {
+                    let c2 = counter.clone();
+                    tm.atomic(move |ctx| {
+                        let v = ctx.read(&c2)?;
+                        ctx.write(&c2, v + 1)
+                    })
+                    .unwrap();
+                }
+            }),
+        );
+        assert_eq!(res.completed, 8);
+        assert_eq!(res.tm.top_commits, 8);
+        assert!(res.makespan > 0);
+        assert!(res.throughput() > 0.0);
+    }
+
+    #[test]
+    fn xorshift_deterministic_and_spread() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        let va: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut hits = [0usize; 10];
+        let mut r = Xorshift::new(7);
+        for _ in 0..10_000 {
+            hits[r.below(10)] += 1;
+        }
+        for h in hits {
+            assert!((700..1300).contains(&h), "roughly uniform: {hits:?}");
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! A from-scratch STAMP-Vacation analogue (§5.3, Fig. 9).
+//!
+//! The travel agency keeps three relations — flights, cars, rooms — each a
+//! table of items with price and availability, plus a customer table with
+//! reservation lists. Client sessions issue three operation types with the
+//! STAMP mix (the paper runs `-u 98`: 98% reservations):
+//!
+//! * **MakeReservation** — `queries` random lookups across the three
+//!   relations tracking the best (highest-price, available) item per
+//!   relation, then reserves the picks for a customer;
+//! * **DeleteCustomer** — releases everything a customer holds;
+//! * **UpdateTables** — mutates prices/availability of random items.
+//!
+//! With futures, the lookup phase of `MakeReservation` is split across
+//! `futures_per_tx` transactional futures, "similarly to what was done in
+//! previous work"; each future has a 10% probability of suffering a 100 ms
+//! remote-database delay right after it begins — the paper's straggler
+//! injection. JTF (SO) can only activate/evaluate futures in spawn order;
+//! WTF-TM's out-of-order evaluation sidesteps the stragglers.
+
+use crate::harness::{run_virtual, RunResult, RunSpec, Xorshift};
+use std::sync::Arc;
+use wtf_core::{FutureTm, Semantics, TxCtx, TxResult, VBox};
+
+/// One reservable item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item {
+    pub price: i64,
+    pub free: i64,
+    pub total: i64,
+}
+
+/// Relation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Flight = 0,
+    Car = 1,
+    Room = 2,
+}
+
+const KINDS: [Kind; 3] = [Kind::Flight, Kind::Car, Kind::Room];
+
+/// A customer's reservation list (kind, item index, price).
+pub type Reservations = Vec<(u8, usize, i64)>;
+
+pub struct Agency {
+    pub tables: [Vec<VBox<Item>>; 3],
+    pub customers: Vec<VBox<Reservations>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct VacationConfig {
+    /// Items per relation.
+    pub relations: usize,
+    pub customers: usize,
+    /// Lookups per MakeReservation.
+    pub queries_per_tx: usize,
+    /// Chunks the lookups are split into (one future per chunk).
+    pub chunks_per_tx: usize,
+    /// Maximum futures in flight (the thread-count axis). JTF activates a
+    /// new future only when the *oldest* completes; WTF when *any* does.
+    pub futures_per_tx: usize,
+    /// Percentage of MakeReservation operations (the paper's `-u 98`);
+    /// the remainder splits evenly between DeleteCustomer and UpdateTables.
+    pub user_percent: u64,
+    /// Transactions per client session.
+    pub txs_per_client: usize,
+    /// Spin work between queries.
+    pub iter: u64,
+    /// Straggler injection: probability (per mille) that a future starts
+    /// with `delay` units of remote-lookup latency.
+    pub straggler_per_mille: u64,
+    /// Injected delay in virtual units (the paper: 100 ms = 1e8 ns).
+    pub delay: u64,
+    pub seed: u64,
+}
+
+impl Default for VacationConfig {
+    fn default() -> Self {
+        VacationConfig {
+            relations: 128,
+            customers: 64,
+            queries_per_tx: 48,
+            chunks_per_tx: 16,
+            futures_per_tx: 8,
+            user_percent: 98,
+            txs_per_client: 4,
+            iter: 1_000,
+            straggler_per_mille: 100,
+            delay: 1_000_000, // scaled from the paper's 100 ms (see EXPERIMENTS.md)
+            seed: 0x7ac0,
+        }
+    }
+}
+
+pub fn make_agency(tm: &FutureTm, cfg: &VacationConfig, seed: u64) -> Agency {
+    let mut rng = Xorshift::new(seed);
+    let mut table = |_k: Kind| -> Vec<VBox<Item>> {
+        (0..cfg.relations)
+            .map(|_| {
+                let total = 1 + rng.below(5) as i64;
+                tm.new_vbox(Item {
+                    price: 50 + rng.below(450) as i64,
+                    free: total,
+                    total,
+                })
+            })
+            .collect()
+    };
+    Agency {
+        tables: [table(Kind::Flight), table(Kind::Car), table(Kind::Room)],
+        customers: (0..cfg.customers).map(|_| tm.new_vbox(Vec::new())).collect(),
+    }
+}
+
+/// Lookup phase of one future: scan `queries` random items, returning the
+/// best available pick per relation as (kind, index, price).
+fn lookup_chunk(
+    ctx: &mut TxCtx,
+    agency: &Agency,
+    cfg: &VacationConfig,
+    rng: &mut Xorshift,
+    queries: usize,
+) -> TxResult<[Option<(usize, i64)>; 3]> {
+    let mut best: [Option<(usize, i64)>; 3] = [None; 3];
+    for _ in 0..queries {
+        ctx.work(cfg.iter);
+        let k = rng.below(3);
+        let idx = rng.below(cfg.relations);
+        let item = ctx.read(&agency.tables[k][idx])?;
+        if item.free > 0 && best[k].map(|(_, p)| item.price > p).unwrap_or(true) {
+            best[k] = Some((idx, item.price));
+        }
+    }
+    Ok(best)
+}
+
+/// Reservation phase: decrement availability of the picks and append them
+/// to the customer's list.
+fn reserve(
+    ctx: &mut TxCtx,
+    agency: &Agency,
+    customer: usize,
+    picks: &[Option<(usize, i64)>; 3],
+) -> TxResult<u64> {
+    let mut reserved = 0;
+    let mut list = ctx.read(&agency.customers[customer])?;
+    for k in KINDS {
+        if let Some((idx, _)) = picks[k as usize] {
+            let vbox = &agency.tables[k as usize][idx];
+            let mut item = ctx.read(vbox)?;
+            if item.free > 0 {
+                item.free -= 1;
+                ctx.write(vbox, item)?;
+                list.push((k as u8, idx, item.price));
+                reserved += 1;
+            }
+        }
+    }
+    ctx.write(&agency.customers[customer], list)?;
+    Ok(reserved)
+}
+
+fn merge_picks(into: &mut [Option<(usize, i64)>; 3], from: &[Option<(usize, i64)>; 3]) {
+    for k in 0..3 {
+        if let Some((idx, price)) = from[k] {
+            if into[k].map(|(_, p)| price > p).unwrap_or(true) {
+                into[k] = Some((idx, price));
+            }
+        }
+    }
+}
+
+fn delete_customer(ctx: &mut TxCtx, agency: &Agency, customer: usize) -> TxResult<()> {
+    let list = ctx.read(&agency.customers[customer])?;
+    for (k, idx, _) in &list {
+        let vbox = &agency.tables[*k as usize][*idx];
+        let mut item = ctx.read(vbox)?;
+        item.free += 1;
+        ctx.write(vbox, item)?;
+    }
+    ctx.write(&agency.customers[customer], Vec::new())?;
+    Ok(())
+}
+
+fn update_tables(ctx: &mut TxCtx, agency: &Agency, cfg: &VacationConfig, rng: &mut Xorshift) -> TxResult<()> {
+    for _ in 0..4 {
+        ctx.work(cfg.iter);
+        let k = rng.below(3);
+        let idx = rng.below(cfg.relations);
+        let mut item = ctx.read(&agency.tables[k][idx])?;
+        item.price = 50 + rng.below(450) as i64;
+        ctx.write(&agency.tables[k][idx], item)?;
+    }
+    Ok(())
+}
+
+/// Futures variant: lookups split across futures; `in_order` selects JTF's
+/// oldest-first activation vs WTF's any-completes activation (the paper's
+/// out-of-order streaming).
+pub fn vacation_futures(
+    cfg: &VacationConfig,
+    semantics: Semantics,
+    in_order: bool,
+    clients: usize,
+) -> RunResult {
+    let spec = RunSpec {
+        units_per_client: cfg.txs_per_client as u64,
+        workers: clients * cfg.futures_per_tx + 2,
+        ..RunSpec::new(semantics, clients, 1)
+    };
+    let cfg = *cfg;
+    let agency: Arc<parking_lot::Mutex<Option<Arc<Agency>>>> = Arc::new(parking_lot::Mutex::new(None));
+    run_virtual(
+        &spec,
+        Arc::new(move |client, tm| {
+            let agency = agency
+                .lock()
+                .get_or_insert_with(|| Arc::new(make_agency(tm, &cfg, cfg.seed)))
+                .clone();
+            let mut rng = Xorshift::new(cfg.seed ^ ((client as u64 + 1) << 40));
+            for _ in 0..cfg.txs_per_client {
+                let kind = rng.next_u64() % 100;
+                let tx_seed = rng.next_u64();
+                let customer = rng.below(cfg.customers);
+                let agency = agency.clone();
+                if kind < cfg.user_percent {
+                    tm.atomic(move |ctx| {
+                        let mut picks: [Option<(usize, i64)>; 3] = [None; 3];
+                        let per_chunk = cfg.queries_per_tx / cfg.chunks_per_tx;
+                        let mut in_flight = Vec::with_capacity(cfg.futures_per_tx);
+                        let mut next_chunk = 0usize;
+                        while next_chunk < cfg.chunks_per_tx || !in_flight.is_empty() {
+                            // Fill the in-flight window.
+                            while next_chunk < cfg.chunks_per_tx
+                                && in_flight.len() < cfg.futures_per_tx
+                            {
+                                let agency2 = agency.clone();
+                                let fseed = tx_seed ^ ((next_chunk as u64) << 13);
+                                in_flight.push(ctx.submit(move |c| {
+                                    let mut frng = Xorshift::new(fseed);
+                                    // 10% of futures hit the remote database.
+                                    if frng.chance(cfg.straggler_per_mille) {
+                                        c.work(cfg.delay);
+                                    }
+                                    lookup_chunk(c, &agency2, &cfg, &mut frng, per_chunk)
+                                })?);
+                                next_chunk += 1;
+                            }
+                            // Free a slot: oldest (JTF) or any (WTF).
+                            let (i, best) = if in_order {
+                                (0, ctx.evaluate(&in_flight[0])?)
+                            } else {
+                                ctx.evaluate_any(&in_flight)?
+                            };
+                            merge_picks(&mut picks, &best);
+                            in_flight.remove(i);
+                        }
+                        reserve(ctx, &agency, customer, &picks)
+                    })
+                    .unwrap();
+                } else if kind < cfg.user_percent + (100 - cfg.user_percent) / 2 {
+                    tm.atomic(move |ctx| delete_customer(ctx, &agency, customer))
+                        .unwrap();
+                } else {
+                    tm.atomic(move |ctx| {
+                        let mut urng = Xorshift::new(tx_seed);
+                        update_tables(ctx, &agency, &cfg, &mut urng)
+                    })
+                    .unwrap();
+                }
+            }
+        }),
+    )
+}
+
+/// JVSTM variant: the whole MakeReservation runs sequentially in one
+/// top-level transaction (stragglers hit the transaction inline).
+pub fn vacation_toplevel(cfg: &VacationConfig, clients: usize) -> RunResult {
+    let spec = RunSpec {
+        units_per_client: cfg.txs_per_client as u64,
+        workers: 1,
+        ..RunSpec::new(Semantics::WO_GAC, clients, 1)
+    };
+    let cfg = *cfg;
+    let agency: Arc<parking_lot::Mutex<Option<Arc<Agency>>>> = Arc::new(parking_lot::Mutex::new(None));
+    run_virtual(
+        &spec,
+        Arc::new(move |client, tm| {
+            let agency = agency
+                .lock()
+                .get_or_insert_with(|| Arc::new(make_agency(tm, &cfg, cfg.seed)))
+                .clone();
+            let mut rng = Xorshift::new(cfg.seed ^ ((client as u64 + 1) << 40));
+            for _ in 0..cfg.txs_per_client {
+                let kind = rng.next_u64() % 100;
+                let tx_seed = rng.next_u64();
+                let customer = rng.below(cfg.customers);
+                let agency = agency.clone();
+                if kind < cfg.user_percent {
+                    tm.atomic(move |ctx| {
+                        let mut picks: [Option<(usize, i64)>; 3] = [None; 3];
+                        let per_chunk = cfg.queries_per_tx / cfg.chunks_per_tx;
+                        for fidx in 0..cfg.chunks_per_tx {
+                            let mut frng = Xorshift::new(tx_seed ^ ((fidx as u64) << 13));
+                            if frng.chance(cfg.straggler_per_mille) {
+                                ctx.work(cfg.delay);
+                            }
+                            let best = lookup_chunk(ctx, &agency, &cfg, &mut frng, per_chunk)?;
+                            merge_picks(&mut picks, &best);
+                        }
+                        reserve(ctx, &agency, customer, &picks)
+                    })
+                    .unwrap();
+                } else if kind < cfg.user_percent + (100 - cfg.user_percent) / 2 {
+                    tm.atomic(move |ctx| delete_customer(ctx, &agency, customer))
+                        .unwrap();
+                } else {
+                    tm.atomic(move |ctx| {
+                        let mut urng = Xorshift::new(tx_seed);
+                        update_tables(ctx, &agency, &cfg, &mut urng)
+                    })
+                    .unwrap();
+                }
+            }
+        }),
+    )
+}
+
+/// Sequential denominator (1 client, no futures).
+pub fn vacation_sequential(cfg: &VacationConfig) -> RunResult {
+    vacation_toplevel(cfg, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> VacationConfig {
+        VacationConfig {
+            relations: 32,
+            customers: 16,
+            queries_per_tx: 16,
+            chunks_per_tx: 8,
+            futures_per_tx: 2,
+            user_percent: 90,
+            txs_per_client: 4,
+            iter: 100,
+            straggler_per_mille: 200,
+            delay: 20_000,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn runs_all_variants_and_commits() {
+        let cfg = tiny();
+        for sem in [Semantics::WO_GAC, Semantics::SO] {
+            let r = vacation_futures(&cfg, sem, sem == Semantics::SO, 2);
+            assert_eq!(r.tm.top_commits as usize, 2 * cfg.txs_per_client, "{sem:?}");
+        }
+        let r = vacation_toplevel(&cfg, 2);
+        assert_eq!(r.tm.top_commits as usize, 2 * cfg.txs_per_client);
+    }
+
+    #[test]
+    fn availability_never_negative_and_capacity_respected() {
+        let cfg = tiny();
+        // Run under a virtual clock and inspect the final tables.
+        let clock = wtf_vclock::Clock::virtual_time();
+        clock.enter(|| {
+            let tm = FutureTm::builder()
+                .semantics(Semantics::WO_GAC)
+                .workers(16)
+                .build();
+            let agency = Arc::new(make_agency(&tm, &cfg, cfg.seed));
+            let c = wtf_vclock::Clock::current();
+            let hs: Vec<_> = (0..3)
+                .map(|client| {
+                    let tm = tm.clone();
+                    let agency = agency.clone();
+                    c.spawn(&format!("v{client}"), move || {
+                        let mut rng = Xorshift::new(cfg.seed ^ (client as u64 + 1));
+                        for _ in 0..cfg.txs_per_client {
+                            let customer = rng.below(cfg.customers);
+                            let tx_seed = rng.next_u64();
+                            let agency = agency.clone();
+                            tm.atomic(move |ctx| {
+                                let mut frng = Xorshift::new(tx_seed);
+                                let picks =
+                                    lookup_chunk(ctx, &agency, &cfg, &mut frng, cfg.queries_per_tx)?;
+                                reserve(ctx, &agency, customer, &picks)
+                            })
+                            .unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            // Invariant: free in [0, total] and total - free equals the
+            // number of matching reservations across customers.
+            let mut held = std::collections::HashMap::new();
+            for cust in &agency.customers {
+                for (k, idx, _) in cust.read_latest() {
+                    *held.entry((k, idx)).or_insert(0i64) += 1;
+                }
+            }
+            for (k, table) in agency.tables.iter().enumerate() {
+                for (idx, vbox) in table.iter().enumerate() {
+                    let item = vbox.read_latest();
+                    assert!(item.free >= 0 && item.free <= item.total);
+                    let reserved = held.get(&(k as u8, idx)).copied().unwrap_or(0);
+                    assert_eq!(item.total - item.free, reserved, "item ({k},{idx})");
+                }
+            }
+            tm.shutdown();
+        });
+    }
+
+    #[test]
+    fn out_of_order_beats_in_order_with_stragglers() {
+        let cfg = VacationConfig {
+            straggler_per_mille: 300,
+            delay: 50_000,
+            txs_per_client: 6,
+            ..tiny()
+        };
+        let ooo = vacation_futures(&cfg, Semantics::WO_GAC, false, 1);
+        let ino = vacation_futures(&cfg, Semantics::SO, true, 1);
+        assert!(
+            (ooo.makespan as f64) < ino.makespan as f64 * 0.95,
+            "straggler avoidance: {} vs {}",
+            ooo.makespan,
+            ino.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = tiny();
+        let a = vacation_futures(&cfg, Semantics::WO_GAC, false, 2);
+        let b = vacation_futures(&cfg, Semantics::WO_GAC, false, 2);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.tm, b.tm);
+    }
+}

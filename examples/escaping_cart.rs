@@ -1,0 +1,97 @@
+//! Escaping futures: the paper's e-commerce scenario (§3.3).
+//!
+//! Run with: `cargo run --example escaping_cart`
+//!
+//! "Adding an item to the cart triggers a transaction that updates the
+//! cart and, to hide user-perceived latency, spawns a future to check for
+//! shipping costs using different sellers. This transaction commits before
+//! showing the next page to the user, but the future it generated is only
+//! evaluated at a later stage, when the purchase is finalized."
+//!
+//! Under **GAC** semantics the add-to-cart transaction commits without
+//! waiting (low latency), the future *escapes*, and the checkout
+//! transaction *adopts* it — re-executing it automatically if any shipping
+//! cost changed in between, which gives exactly the paper's promised
+//! atomicity of the whole purchase.
+
+use transactional_futures::clock::Clock;
+use transactional_futures::{FutureTm, Semantics, TxFuture, VBox};
+
+#[derive(Clone)]
+struct Cart {
+    items: Vec<&'static str>,
+    shipping_quote: Option<TxFuture<i64>>,
+}
+
+fn main() {
+    // Run under the deterministic virtual clock so the quote is still in
+    // flight when the add-to-cart transaction commits (that is the whole
+    // point of the scenario: the future must *escape*). Under a real
+    // clock a fast quote may legally serialize inside the first
+    // transaction instead — also correct, but a different story.
+    let clock = Clock::virtual_time();
+    let total = clock.enter(run_shop);
+    // The quote must reflect the *current* rates (12 vs 20 -> 12), not the
+    // stale pre-update minimum (9).
+    assert_eq!(total, 92);
+}
+
+fn run_shop() -> i64 {
+    let tm = FutureTm::builder().semantics(Semantics::WO_GAC).workers(2).build();
+
+    // Seller shipping rates, updated concurrently by the sellers.
+    let rate_a = tm.new_vbox(12i64);
+    let rate_b = tm.new_vbox(9i64);
+    let cart: VBox<Cart> = tm.new_vbox(Cart {
+        items: Vec::new(),
+        shipping_quote: None,
+    });
+
+    // --- Page 1: add to cart (commits immediately; quote runs async) ---
+    tm.atomic(|ctx| {
+        let mut c = ctx.read(&cart)?;
+        c.items.push("keyboard");
+        let (ra, rb) = (rate_a.clone(), rate_b.clone());
+        // The shipping-cost check escapes this transaction: querying the
+        // sellers takes a while (virtual milliseconds), so the page commit
+        // below does not wait for it.
+        let quote = ctx.submit(move |fx| {
+            fx.work(2_000_000); // contacting sellers...
+            let a = fx.read(&ra)?;
+            let b = fx.read(&rb)?;
+            Ok(a.min(b))
+        })?;
+        c.shipping_quote = Some(quote);
+        ctx.write(&cart, c)?;
+        Ok(())
+    })
+    .unwrap();
+    println!("added to cart; page rendered without waiting for the quote");
+
+    // --- Meanwhile: seller B raises its rate, invalidating the quote ---
+    tm.atomic(|ctx| ctx.write(&rate_b, 20)).unwrap();
+    println!("seller B raised its shipping rate to 20");
+
+    // --- Page 2: checkout evaluates (adopts) the escaped future ---
+    let total = tm
+        .atomic(|ctx| {
+            let c = ctx.read(&cart)?;
+            let quote = c.shipping_quote.as_ref().expect("quote spawned");
+            // If the rates the future saw are stale, the runtime
+            // re-executes it here — the purchase stays atomic.
+            let shipping = ctx.evaluate(quote)?;
+            let goods: i64 = c.items.len() as i64 * 80;
+            Ok(goods + shipping)
+        })
+        .unwrap();
+
+    let stats = tm.stats();
+    println!("checkout total: {total} (goods 80 + cheapest current shipping)");
+    println!(
+        "escaping futures adopted: {}, re-executed after staleness: {}",
+        stats.adopted_escaping, stats.reexecutions
+    );
+    assert_eq!(stats.adopted_escaping, 1, "the quote escaped and was adopted");
+    tm.shutdown();
+    total
+}

@@ -1,0 +1,63 @@
+//! Quickstart: transactional futures in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Shows the three core operations — `submit`, work in the continuation,
+//! `evaluate` — and how the runtime picks a serialization point for each
+//! future (at submission when possible, upon evaluation otherwise).
+
+use transactional_futures::{FutureTm, Semantics};
+
+fn main() {
+    // WO+GAC is WTF-TM's native mode: futures may serialize at submission
+    // or upon evaluation, and may escape their spawning transaction.
+    let tm = FutureTm::new(Semantics::WO_GAC);
+
+    let inventory = tm.new_vbox(100i64); // items in stock
+    let sold = tm.new_vbox(0i64);
+
+    // A transaction that sells items, computing the discount in parallel
+    // with the rest of the bookkeeping.
+    let receipt = tm
+        .atomic(|ctx| {
+            let stock = ctx.read(&inventory)?;
+            let quantity = 3i64;
+
+            // The discount computation runs as a transactional future: it
+            // sees this transaction's state up to the submission point and
+            // runs atomically with respect to the continuation below.
+            let inv = inventory.clone();
+            let discount = ctx.submit(move |c| {
+                let stock_level = c.read(&inv)?;
+                // Overstocked items get 20% off.
+                Ok(if stock_level > 50 { 20 } else { 0 })
+            })?;
+
+            // Continuation: update the books while the future runs.
+            ctx.write(&inventory, stock - quantity)?;
+            let s = ctx.read(&sold)?;
+            ctx.write(&sold, s + quantity)?;
+
+            // Evaluation blocks until the future has committed (§3: at
+            // most once; repeated evaluations return the same result).
+            let pct = ctx.evaluate(&discount)?;
+            let unit_price = 50;
+            let total = quantity * unit_price * (100 - pct) / 100;
+            Ok((quantity, pct, total))
+        })
+        .unwrap();
+
+    println!("sold {} items at {}% discount: total {}", receipt.0, receipt.1, receipt.2);
+    println!("inventory now: {}", inventory.read_latest());
+    println!("sold counter:  {}", sold.read_latest());
+
+    let stats = tm.stats();
+    println!(
+        "futures: {} submitted, {} serialized at submission, {} at evaluation",
+        stats.futures_submitted, stats.serialized_at_submission, stats.serialized_at_evaluation
+    );
+    tm.shutdown();
+
+    assert_eq!(receipt, (3, 20, 120));
+    assert_eq!(inventory.read_latest(), 97);
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration: the four semantics on live executions,
+//! checked against the formal FSG acceptance for the same patterns.
+
+use transactional_futures::clock::Clock;
+use transactional_futures::fsg;
+use transactional_futures::{FutureTm, Semantics};
+
+/// Fig. 2 as a live execution, all four semantics: WO variants spare the
+/// continuation; SO dooms it. The formal FSG acceptance matrix must agree
+/// with what the runtime did.
+#[test]
+fn fig2_live_matches_formal_semantics() {
+    let run = |sem: Semantics| {
+        let clock = Clock::virtual_time();
+        clock.enter(|| {
+            let tm = FutureTm::builder().semantics(sem).workers(2).build();
+            let x = tm.new_vbox(0i64);
+            let z = tm.new_vbox(0i64);
+            let (x2, z2) = (x.clone(), z.clone());
+            let seen = tm
+                .atomic(move |ctx| {
+                    let (x3, z3) = (x2.clone(), z2.clone());
+                    let f = ctx.submit(move |c| {
+                        c.work(100);
+                        c.read(&x3)?;
+                        c.write(&z3, 1)?;
+                        Ok(())
+                    })?;
+                    let seen = ctx.read(&z2)?;
+                    ctx.work(1_000);
+                    ctx.evaluate(&f)?;
+                    Ok(seen)
+                })
+                .unwrap();
+            let stats = tm.stats();
+            tm.shutdown();
+            (seen, stats)
+        })
+    };
+
+    for sem in [Semantics::WO_GAC, Semantics::WO_LAC] {
+        let (seen, stats) = run(sem);
+        assert_eq!(seen, 0, "{sem:?}: continuation kept its pre-future read");
+        assert_eq!(stats.internal_aborts, 0, "{sem:?}: nobody aborted");
+        assert_eq!(stats.serialized_at_evaluation, 1);
+    }
+    let (seen, stats) = run(Semantics::SO);
+    assert_eq!(seen, 1, "SO: the doomed continuation re-ran");
+    assert!(stats.internal_aborts >= 1);
+
+    // The formal counterpart: the WO-shaped history (continuation read the
+    // old value) is FSG-acceptable under WO only.
+    let (h, _, _) = fsg::paper::fig2();
+    assert!(fsg::build_fsg(&h, fsg::Semantics::WO_GAC).acceptable());
+    assert!(fsg::build_fsg(&h, fsg::Semantics::WO_LAC).acceptable());
+    assert!(!fsg::build_fsg(&h, fsg::Semantics::SO).acceptable());
+}
+
+/// LAC vs GAC on the same escaping-future program: LAC blocks the
+/// spawner's commit (implicit evaluation); GAC lets it commit immediately
+/// and the future is adopted later.
+#[test]
+fn lac_vs_gac_escaping_behavior() {
+    let run = |sem: Semantics| {
+        let clock = Clock::virtual_time();
+        let out = clock.enter(|| {
+            let tm = FutureTm::builder().semantics(sem).workers(2).build();
+            let x = tm.new_vbox(0i64);
+            let x2 = x.clone();
+            tm.atomic(move |ctx| {
+                let x3 = x2.clone();
+                let _f = ctx.submit(move |c| {
+                    c.work(10_000);
+                    c.write(&x3, 7)?;
+                    Ok(())
+                })?;
+                Ok(())
+            })
+            .unwrap();
+            let commit_time = Clock::current().now();
+            let stats = tm.stats();
+            tm.shutdown();
+            (commit_time, stats, x.read_latest())
+        });
+        out
+    };
+    let (t_lac, stats_lac, x_lac) = run(Semantics::WO_LAC);
+    assert!(t_lac >= 10_000, "LAC: commit blocked on the stray future");
+    assert_eq!(stats_lac.implicit_evaluations + stats_lac.serialized_at_submission, 1);
+    assert_eq!(x_lac, 7, "LAC: the future's effects committed with the spawner");
+
+    let (t_gac, _, x_gac) = run(Semantics::WO_GAC);
+    assert!(t_gac < 10_000, "GAC: commit did not wait");
+    assert_eq!(x_gac, 0, "GAC: an unevaluated escaping future never serializes");
+}
+
+/// A chain of top-level transactions propagating an escaping future's
+/// handle (the paper's generalization of Fig. 1c): the last transaction
+/// in the chain evaluates and adopts it.
+#[test]
+fn escaping_future_through_transaction_chain() {
+    use transactional_futures::TxFuture;
+    let clock = Clock::virtual_time();
+    let (v, stats) = clock.enter(|| {
+        let tm = FutureTm::builder().semantics(Semantics::WO_GAC).workers(2).build();
+        let data = tm.new_vbox(21i64);
+        let slot = tm.new_vbox::<Option<TxFuture<i64>>>(None);
+        // T1 spawns and publishes.
+        let (d2, s2) = (data.clone(), slot.clone());
+        tm.atomic(move |ctx| {
+            let d3 = d2.clone();
+            let f = ctx.submit(move |c| {
+                c.work(500);
+                let v = c.read(&d3)?;
+                Ok(v * 2)
+            })?;
+            ctx.write(&s2, Some(f))?;
+            Ok(())
+        })
+        .unwrap();
+        // T2..T4 pass the handle along (read + rewrite).
+        for _ in 0..3 {
+            let s3 = slot.clone();
+            tm.atomic(move |ctx| {
+                let f = ctx.read(&s3)?;
+                ctx.write(&s3, f)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        // T5 evaluates (adopts) it.
+        let s4 = slot.clone();
+        let v = tm
+            .atomic(move |ctx| {
+                let f = ctx.read(&s4)?.expect("handle propagated");
+                ctx.evaluate(&f)
+            })
+            .unwrap();
+        let stats = tm.stats();
+        tm.shutdown();
+        (v, stats)
+    });
+    assert_eq!(v, 42);
+    assert_eq!(stats.adopted_escaping, 1);
+    assert_eq!(stats.top_commits, 5);
+}
+
+/// SO == WO when futures never conflict: same results, same final state.
+#[test]
+fn semantics_agree_without_conflicts() {
+    let run = |sem: Semantics| {
+        let clock = Clock::virtual_time();
+        clock.enter(|| {
+            let tm = FutureTm::builder().semantics(sem).workers(8).build();
+            let boxes: Vec<_> = (0..8).map(|i| tm.new_vbox(i as i64)).collect();
+            let boxes2 = boxes.clone();
+            let sum = tm
+                .atomic(move |ctx| {
+                    let futs: Vec<_> = boxes2
+                        .iter()
+                        .map(|b| {
+                            let b2 = b.clone();
+                            ctx.submit(move |c| {
+                                let v = c.read(&b2)?;
+                                c.write(&b2, v * 10)?;
+                                Ok(v)
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let mut sum = 0;
+                    for f in &futs {
+                        sum += ctx.evaluate(f)?;
+                    }
+                    Ok(sum)
+                })
+                .unwrap();
+            let finals: Vec<i64> = boxes.iter().map(|b| b.read_latest()).collect();
+            tm.shutdown();
+            (sum, finals)
+        })
+    };
+    let wo = run(Semantics::WO_GAC);
+    let so = run(Semantics::SO);
+    assert_eq!(wo, so);
+    assert_eq!(wo.0, (0..8).sum::<i64>());
+    assert_eq!(wo.1, (0..8).map(|i| i * 10).collect::<Vec<i64>>());
+}

@@ -1,0 +1,187 @@
+//! Scale/stress integration: paper-scale thread counts under the virtual
+//! clock, and real-thread races.
+
+use std::sync::Arc;
+use transactional_futures::clock::Clock;
+use transactional_futures::workloads::bank::{futures_replay, BankConfig, EvalPolicy};
+use transactional_futures::workloads::synthetic::{conflict_prone, ConflictConfig};
+use transactional_futures::{FutureTm, Semantics};
+
+/// 56 concurrent futures in one transaction — the paper's maximum degree
+/// of intra-transaction parallelism.
+#[test]
+fn fifty_six_futures_one_transaction() {
+    let clock = Clock::virtual_time();
+    let sum = clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(58)
+            .build();
+        let boxes: Vec<_> = (0..56).map(|i| tm.new_vbox(i as i64)).collect();
+        let boxes2 = boxes.clone();
+        let sum = tm
+            .atomic(move |ctx| {
+                let futs: Vec<_> = boxes2
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        let b2 = b.clone();
+                        ctx.submit(move |c| {
+                            c.work(100 + (i as u64 * 13) % 500);
+                            let v = c.read(&b2)?;
+                            c.write(&b2, v + 100)?;
+                            Ok(v)
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut sum = 0i64;
+                for f in &futs {
+                    sum += ctx.evaluate(f)?;
+                }
+                Ok(sum)
+            })
+            .unwrap();
+        tm.shutdown();
+        assert!(boxes.iter().enumerate().all(|(i, b)| b.read_latest() == i as i64 + 100));
+        sum
+    });
+    assert_eq!(sum, (0..56).sum::<i64>());
+}
+
+/// High-contention SO run completes (no livelock) and preserves counters —
+/// exercising the replay-restart path hard.
+#[test]
+fn so_high_contention_progress() {
+    let cfg = ConflictConfig {
+        array_size: 256,
+        reads_per_future: 50,
+        iter: 200,
+        hot_spots: 8,
+        writes_per_future: 4,
+        futures_per_tx: 8,
+        txs_per_client: 4,
+        seed: 0xfeed,
+    };
+    let r = conflict_prone(&cfg, Semantics::SO, 2);
+    assert_eq!(r.tm.top_commits, 8, "all transactions eventually commit");
+    assert!(r.tm.internal_aborts > 0, "contention was real");
+}
+
+/// Bank invariant under every variant at paper-ish scale.
+#[test]
+fn bank_invariant_at_scale() {
+    let cfg = BankConfig {
+        accounts: 2_000,
+        pairs_per_transfer: 10,
+        update_percent: 50,
+        iter: 200,
+        chunk_size: 40,
+        chunks_per_client: 1,
+        concurrent_futures: 14,
+        initial_balance: 1_000,
+        seed: 0xabcd,
+    };
+    // The workload itself asserts the getTotalAmount invariant.
+    for (sem, pol) in [
+        (Semantics::WO_GAC, EvalPolicy::OutOfOrder),
+        (Semantics::SO, EvalPolicy::InOrder),
+    ] {
+        let r = futures_replay(&cfg, sem, pol, 2);
+        assert_eq!(r.tm.top_commits, 2);
+    }
+}
+
+/// Real OS threads (preemptive interleaving) hammering one TM with mixed
+/// futures and plain transactions.
+#[test]
+fn real_thread_mixed_stress() {
+    let clock = Clock::real_nospin();
+    clock.enter(|| {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(12)
+            .build();
+        let cells: Arc<Vec<_>> = Arc::new((0..8).map(|_| tm.new_vbox(0i64)).collect());
+        let c = Clock::current();
+        let hs: Vec<_> = (0..6)
+            .map(|t| {
+                let tm = tm.clone();
+                let cells = cells.clone();
+                c.spawn(&format!("s{t}"), move || {
+                    for k in 0..40 {
+                        let cells2 = cells.clone();
+                        let i = (t * 7 + k) % 8;
+                        let j = (t * 3 + k * 5) % 8;
+                        if k % 3 == 0 {
+                            // Plain transaction.
+                            tm.atomic(move |ctx| {
+                                let v = ctx.read(&cells2[i])?;
+                                ctx.write(&cells2[i], v + 1)
+                            })
+                            .unwrap();
+                        } else {
+                            // Future-parallel transaction over two cells.
+                            tm.atomic(move |ctx| {
+                                let a = cells2[i].clone();
+                                let f = ctx.submit(move |c| {
+                                    let v = c.read(&a)?;
+                                    c.write(&a, v + 1)?;
+                                    Ok(())
+                                })?;
+                                if i != j {
+                                    let v = ctx.read(&cells2[j])?;
+                                    ctx.write(&cells2[j], v + 1)?;
+                                }
+                                ctx.evaluate(&f)?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        // Every transaction performed exactly 1 or 2 increments; totals
+        // must match the deterministic op count.
+        let mut expected = 0i64;
+        for t in 0..6usize {
+            for k in 0..40usize {
+                let i = (t * 7 + k) % 8;
+                let j = (t * 3 + k * 5) % 8;
+                expected += if k % 3 == 0 {
+                    1
+                } else if i != j {
+                    2
+                } else {
+                    1
+                };
+            }
+        }
+        let total: i64 = cells.iter().map(|c| c.read_latest()).sum();
+        assert_eq!(total, expected);
+        tm.shutdown();
+    });
+}
+
+/// Determinism at scale: a 28-client virtual run is bit-reproducible.
+#[test]
+fn virtual_determinism_at_scale() {
+    let run = || {
+        let cfg = ConflictConfig {
+            array_size: 512,
+            reads_per_future: 30,
+            iter: 100,
+            hot_spots: 16,
+            writes_per_future: 2,
+            futures_per_tx: 4,
+            txs_per_client: 2,
+            seed: 31337,
+        };
+        let r = conflict_prone(&cfg, Semantics::WO_GAC, 4);
+        (r.makespan, r.tm)
+    };
+    assert_eq!(run(), run());
+}
