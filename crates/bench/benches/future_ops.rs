@@ -53,8 +53,8 @@ fn bench_futures(c: &mut Criterion) {
         b.iter(|| {
             let boxes = boxes.clone();
             tm.atomic(move |ctx| {
-                for d in 0..8 {
-                    let b2 = boxes[d].clone();
+                for bx in boxes.iter().take(8) {
+                    let b2 = bx.clone();
                     ctx.step(move |c| {
                         let v = c.read(&b2)?;
                         c.write(&b2, v + 1)

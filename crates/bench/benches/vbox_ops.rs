@@ -76,6 +76,27 @@ fn bench_reads(c: &mut Criterion) {
         drop(pin);
     });
 
+    // Install is O(1): commit cost into a box with thousands of retained
+    // versions (GC off, snapshot pinned) must not scale with chain depth —
+    // the new version is consed onto the head, never shifting the history.
+    g.bench_function("txn_write_commit_shallow_chain", |b| {
+        let stm = Stm::new();
+        let x = VBox::new(&stm, 0i64);
+        b.iter(|| stm.atomic(|tx| tx.write(&x, 1)).unwrap())
+    });
+    g.bench_function("txn_write_commit_deep_chain_4096", |b| {
+        let stm = Stm::new();
+        stm.set_gc_enabled(false);
+        let x = VBox::new(&stm, 0i64);
+        let pin = raw::acquire_snapshot(&stm); // pin so chains keep length
+        for i in 0..4096 {
+            stm.atomic(|tx| tx.write(&x, i)).unwrap();
+        }
+        assert!(x.version_chain_len() > 4000);
+        b.iter(|| stm.atomic(|tx| tx.write(&x, 1)).unwrap());
+        drop(pin);
+    });
+
     g.bench_function("begin_snapshot", |b| {
         b.iter_batched(
             || (),

@@ -94,7 +94,10 @@ fn main() {
         f3(so as f64 / wo as f64)
     );
     let ideal = (BASE_WORK * (STRAGGLER_FACTOR + TASKS as u64 - 1)).div_ceil(CONCURRENT as u64);
-    println!("(straggler-bound lower bound ≈ {}, WO achieved {wo})", ideal.max(BASE_WORK * STRAGGLER_FACTOR));
+    println!(
+        "(straggler-bound lower bound ≈ {}, WO achieved {wo})",
+        ideal.max(BASE_WORK * STRAGGLER_FACTOR)
+    );
 }
 
 #[cfg(test)]

@@ -39,7 +39,14 @@ fn main() {
     print_scaling_note("Fig. 9 (Vacation / STAMP)");
     table_header(
         "Fig 9: speedup vs 1 sequential top-level + top-level abort rate",
-        &["system", "tops", "futures", "total_threads", "speedup", "top_abort_rate"],
+        &[
+            "system",
+            "tops",
+            "futures",
+            "total_threads",
+            "speedup",
+            "top_abort_rate",
+        ],
     );
     let seq = vacation_sequential(&cfg(1, TOTAL_TXS));
     // JVSTM: budget used entirely as top-level clients.

@@ -123,6 +123,9 @@ impl TxCtx {
 
     /// Transactional read (§4.1): own buffer, then the closest iCommitted
     /// ancestor's write, then the top-level's multi-versioned snapshot.
+    /// The global fallback is a lock-free chain walk in `wtf-mvstm`; it is
+    /// fenced against version GC by the top-level's live registered
+    /// snapshot, which the registry's horizon can never exceed.
     pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> TxResult<T> {
         let costs = self.tm.cfg.costs;
         self.charge(costs.read_cpu, costs.read_mem);
@@ -401,8 +404,12 @@ impl TxCtx {
                 Ok(value) => {
                     let final_node = fctx.node.id;
                     fctx.node.freeze();
-                    self.top
-                        .finish_inline_serialization(core, final_node, self.node.id, value.clone());
+                    self.top.finish_inline_serialization(
+                        core,
+                        final_node,
+                        self.node.id,
+                        value.clone(),
+                    );
                     self.tm.stats.serialized_at_evaluation();
                     self.view_valid = false;
                     return Ok(value);

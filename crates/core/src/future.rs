@@ -142,6 +142,11 @@ impl<T: TxValue> TxFuture<T> {
 
 impl<T> std::fmt::Debug for TxFuture<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TxFuture(id={}, state={:?})", self.core.id, self.core.state())
+        write!(
+            f,
+            "TxFuture(id={}, state={:?})",
+            self.core.id,
+            self.core.state()
+        )
     }
 }

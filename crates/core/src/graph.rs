@@ -54,6 +54,10 @@ impl GraphInner {
         self.preds.len()
     }
 
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
     fn recompute_ranks(&mut self) {
         // Longest path over a DAG in topological order (Kahn).
         let n = self.len();
@@ -125,8 +129,7 @@ impl GraphInner {
         let mut out = Vec::new();
         let mut cur = from;
         loop {
-            let next = self
-                .preds[cur]
+            let next = self.preds[cur]
                 .iter()
                 .copied()
                 .max_by_key(|&p| (self.rank[p], p));
@@ -189,7 +192,6 @@ impl Graph {
         self.stamp.fetch_add(1, Ordering::SeqCst);
         out
     }
-
 }
 
 /// Mutation helpers used by the runtime.
@@ -321,8 +323,8 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    /// Random spawn/serialize sequences keep G a DAG with consistent
-    /// ancestor/reachability relations.
+    // Random spawn/serialize sequences keep G a DAG with consistent
+    // ancestor/reachability relations.
     proptest! {
         #[test]
         fn dag_invariants(ops in proptest::collection::vec(0u8..3, 1..40)) {
@@ -364,8 +366,7 @@ mod proptests {
                                 gi.set_status(cur, NodeStatus::ICommitted);
                                 gi.add_edge(cur, f);
                                 gi.set_status(f, NodeStatus::ICommitted);
-                                let e = gi.add_node(NodeStatus::Active, &[cur, f]);
-                                e
+                                gi.add_node(NodeStatus::Active, &[cur, f])
                             });
                             cur = e;
                         }

@@ -240,10 +240,7 @@ impl FutureTm {
     /// Calls must be made from a thread registered with this TM's clock
     /// (inside [`Clock::enter`] or a clock-spawned thread) when the clock
     /// is virtual.
-    pub fn atomic<T>(
-        &self,
-        mut body: impl FnMut(&mut TxCtx) -> TxResult<T>,
-    ) -> Result<T, Aborted> {
+    pub fn atomic<T>(&self, mut body: impl FnMut(&mut TxCtx) -> TxResult<T>) -> Result<T, Aborted> {
         // Replay restarts are bounded defensively; beyond the cap we fall
         // back to a full restart (fresh snapshot).
         const MAX_REPLAYS: u32 = 10_000;
@@ -338,8 +335,11 @@ impl FutureTm {
             },
             Err(StmError::Conflict) => {
                 if crate::trace_enabled() {
-                    eprintln!("[trace] attempt body conflict: top_doomed={} cancelled={}",
-                        top.is_doomed(), top.is_cancelled());
+                    eprintln!(
+                        "[trace] attempt body conflict: top_doomed={} cancelled={}",
+                        top.is_doomed(),
+                        top.is_cancelled()
+                    );
                 }
                 if top.is_cancelled() {
                     AttemptOutcome::Full
@@ -366,8 +366,8 @@ impl FutureTm {
     /// calls it wins; later `atomic` calls that submit futures will panic.
     pub fn shutdown(&self) {
         if let Some(pool) = self.inner.pool.lock().take() {
-            let pool = Arc::into_inner(pool)
-                .expect("shutdown while futures are still being submitted");
+            let pool =
+                Arc::into_inner(pool).expect("shutdown while futures are still being submitted");
             if Clock::try_current().is_some() {
                 pool.shutdown();
             } else {

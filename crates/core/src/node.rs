@@ -54,8 +54,11 @@ pub struct SubTxNode {
     writes: Mutex<FxHashMap<BoxId, (Arc<BoxBody>, Value)>>,
     /// Set exactly once at iCommit; after that the write-set is immutable
     /// and shared without locking.
-    frozen: OnceLock<Arc<FxHashMap<BoxId, (Arc<BoxBody>, Value)>>>,
+    frozen: OnceLock<FrozenWrites>,
 }
+
+/// An iCommitted node's immutable write-set, shared without locking.
+pub type FrozenWrites = Arc<FxHashMap<BoxId, (Arc<BoxBody>, Value)>>;
 
 impl SubTxNode {
     pub fn new(id: NodeId, kind: NodeKind) -> Arc<SubTxNode> {
@@ -98,14 +101,14 @@ impl SubTxNode {
     }
 
     /// Freezes the write buffer (iCommit). Idempotent.
-    pub fn freeze(&self) -> Arc<FxHashMap<BoxId, (Arc<BoxBody>, Value)>> {
+    pub fn freeze(&self) -> FrozenWrites {
         self.frozen
             .get_or_init(|| Arc::new(std::mem::take(&mut *self.writes.lock())))
             .clone()
     }
 
     /// The frozen write-set, if iCommitted.
-    pub fn frozen_writes(&self) -> Option<&Arc<FxHashMap<BoxId, (Arc<BoxBody>, Value)>>> {
+    pub fn frozen_writes(&self) -> Option<&FrozenWrites> {
         self.frozen.get()
     }
 
@@ -122,7 +125,6 @@ impl SubTxNode {
     pub fn reads_intersect(&self, ids: &FxHashMap<BoxId, ()>) -> bool {
         self.reads.lock().keys().any(|k| ids.contains_key(k))
     }
-
 }
 
 #[cfg(test)]
@@ -138,7 +140,11 @@ mod tests {
         let body = raw::body_of(&b);
         node.buffer_write(b.id(), body.clone(), Arc::new(2i64));
         assert_eq!(
-            *node.own_write(b.id()).unwrap().downcast_ref::<i64>().unwrap(),
+            *node
+                .own_write(b.id())
+                .unwrap()
+                .downcast_ref::<i64>()
+                .unwrap(),
             2
         );
         let frozen = node.freeze();

@@ -68,15 +68,17 @@ impl TmStatsSnapshot {
     /// Top-level abort rate: aborts / (commits + aborts). This is the
     /// "top-level abort rate" of Figs. 7b and 9.
     pub fn top_abort_rate(&self) -> f64 {
-        rate(self.top_aborts + self.top_internal_restarts, self.top_commits)
+        rate(
+            self.top_aborts + self.top_internal_restarts,
+            self.top_commits,
+        )
     }
 
     /// Internal abort rate: internal aborts over internal serialization
     /// successes (the "internal abort rate" of Figs. 7b and 8).
     pub fn internal_abort_rate(&self) -> f64 {
-        let successes = self.serialized_at_submission
-            + self.serialized_at_evaluation
-            + self.adopted_escaping;
+        let successes =
+            self.serialized_at_submission + self.serialized_at_evaluation + self.adopted_escaping;
         rate(self.internal_aborts, successes)
     }
 

@@ -122,7 +122,10 @@ fn so_dooms_conflicting_continuation_and_replays() {
         })
         .unwrap()
     });
-    assert_eq!(out, 1, "SO: the continuation re-ran and saw the future's write");
+    assert_eq!(
+        out, 1,
+        "SO: the continuation re-ran and saw the future's write"
+    );
     assert!(stats.internal_aborts >= 1, "the continuation was doomed");
     assert_eq!(stats.serialized_at_submission, 1);
     assert_eq!(stats.serialized_at_evaluation, 0);
@@ -156,7 +159,10 @@ fn so_step_contains_doom_to_segment() {
         .unwrap()
     });
     assert_eq!(out, 1, "segment retry re-read the future's write");
-    assert!(stats.segment_retries >= 1, "partial rollback, not a top restart");
+    assert!(
+        stats.segment_retries >= 1,
+        "partial rollback, not a top restart"
+    );
     assert_eq!(stats.top_internal_restarts, 0);
     assert_eq!(stats.top_commits, 1);
 }
@@ -214,7 +220,10 @@ fn backward_validation_conflict_path() {
             .unwrap();
         (r, b.read_latest())
     });
-    assert_eq!(stats.reexecutions, 1, "neither point fit: inline re-execution");
+    assert_eq!(
+        stats.reexecutions, 1,
+        "neither point fit: inline re-execution"
+    );
     assert_eq!(out.0, 50, "re-execution saw the continuation's write to a");
     assert_eq!(out.1, 51);
     assert_eq!(stats.serialized_at_evaluation, 1);
@@ -236,7 +245,11 @@ fn repeated_evaluation_is_idempotent() {
         })
         .unwrap()
     });
-    assert_eq!(vals, (5, 5), "§3.2: repeated evaluations return the same result");
+    assert_eq!(
+        vals,
+        (5, 5),
+        "§3.2: repeated evaluations return the same result"
+    );
 }
 
 #[test]
@@ -318,7 +331,10 @@ fn so_commits_futures_in_spawn_order() {
     };
     let so = run(Semantics::SO);
     let wo = run(Semantics::WO_GAC);
-    assert!(so >= 10_000, "SO: fast future blocked behind the straggler (t={so})");
+    assert!(
+        so >= 10_000,
+        "SO: fast future blocked behind the straggler (t={so})"
+    );
     assert!(wo < 5_000, "WO: fast future evaluated immediately (t={wo})");
 }
 
@@ -450,7 +466,10 @@ fn lac_implicitly_evaluates_escaping_future_at_commit() {
         .unwrap();
         x.read_latest()
     });
-    assert_eq!(out, 42, "the implicit evaluation included the future's effects");
+    assert_eq!(
+        out, 42,
+        "the implicit evaluation included the future's effects"
+    );
     assert_eq!(stats.implicit_evaluations, 1);
     assert_eq!(stats.serialized_at_evaluation, 1);
     assert!(makespan >= 5_000, "commit blocked on the future");
@@ -494,7 +513,10 @@ fn gac_commit_does_not_wait_and_future_is_adopted() {
         tm.shutdown();
         ((t_commit, v), stats)
     });
-    assert_eq!(vals.1, 14, "adopted future computed over T1's committed state");
+    assert_eq!(
+        vals.1, 14,
+        "adopted future computed over T1's committed state"
+    );
     assert_eq!(stats.adopted_escaping, 1);
     assert_eq!(stats.top_commits, 2);
 }

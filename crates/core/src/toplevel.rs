@@ -321,13 +321,16 @@ impl TopLevel {
                 }
                 for &n in &conflicters {
                     if crate::trace_enabled() {
-                        eprintln!("[trace] future {} dooms node {} (active={})", core.id, n,
-                            g.status[n] == NodeStatus::Active && g.succs[n].is_empty());
+                        eprintln!(
+                            "[trace] future {} dooms node {} (active={})",
+                            core.id,
+                            n,
+                            g.status[n] == NodeStatus::Active && g.succs[n].is_empty()
+                        );
                     }
                     nodes[n].doom();
                     tm.stats.internal_aborts();
-                    let contained =
-                        g.status[n] == NodeStatus::Active && g.succs[n].is_empty();
+                    let contained = g.status[n] == NodeStatus::Active && g.succs[n].is_empty();
                     if !contained {
                         self.doom();
                     }
@@ -618,15 +621,14 @@ impl TopLevel {
             }
             Ok((writes, winners, reads))
         };
-        let (writes, winners, reads) = match gathered {
-            Ok(g) => g,
-            Err(e) => return Err(e),
-        };
+        let (writes, winners, reads) = gathered?;
         if self.is_doomed() {
             return Err(CommitFail::Internal);
         }
-        // 5. Validate + publish through the multi-versioned substrate.
-        //    Charge the bus for the published writes.
+        // 5. Validate + publish through the multi-versioned substrate:
+        //    `commit_raw` locks only the stripes covering this read/write
+        //    footprint, so top-level transactions with disjoint footprints
+        //    commit in parallel. Charge the bus for the published writes.
         let n_writes = writes.len() as u64;
         let version = if writes.is_empty() {
             self.snapshot_version()

@@ -193,9 +193,7 @@ pub fn build_fsg(history: &History, semantics: Semantics) -> Fsg {
     let find_end = |tx: TxId| -> Option<VertexId> {
         vertices
             .iter()
-            .find(|v| {
-                v.issuer == tx && v.ops.iter().any(|&i| h.events[i].op == Op::Commit)
-            })
+            .find(|v| v.issuer == tx && v.ops.iter().any(|&i| h.events[i].op == Op::Commit))
             .map(|v| v.id)
     };
     let find_cbegin = |f: TxId| -> Option<VertexId> {
@@ -204,9 +202,8 @@ pub fn build_fsg(history: &History, semantics: Semantics) -> Fsg {
             .find(|v| v.kind == VertexKind::CBegin(f))
             .map(|v| v.id)
     };
-    let find_begin = |tx: TxId| -> Option<VertexId> {
-        streams.get(&tx).and_then(|c| c.first().copied())
-    };
+    let find_begin =
+        |tx: TxId| -> Option<VertexId> { streams.get(&tx).and_then(|c| c.first().copied()) };
     let eval_vertices = |f: TxId| -> Vec<VertexId> {
         let mut v: Vec<VertexId> = vertices
             .iter()
@@ -408,24 +405,26 @@ fn add_conflict_edges(
     let committed = |s: TxId| commit_idx.contains_key(&s);
     // Vertex-level relations apply within one scope and around WO+GAC
     // escaping futures.
-    let vertex_level =
-        |a: TxId, b: TxId| scope(a) == scope(b) || is_escaping_unit(h, sem, a) || is_escaping_unit(h, sem, b);
+    let vertex_level = |a: TxId, b: TxId| {
+        scope(a) == scope(b) || is_escaping_unit(h, sem, a) || is_escaping_unit(h, sem, b)
+    };
 
-    let add_scope_pair = |from: TxId,
-                              to: TxId,
-                              pg: &mut Polygraph,
-                              seen: &mut std::collections::HashSet<(TxId, TxId)>| {
-        if from == to || !seen.insert((from, to)) {
-            return;
-        }
-        for &a in &scope_vertices[&from] {
-            for &b in &scope_vertices[&to] {
-                if a != b {
-                    pg.add_edge(a, b);
+    let add_scope_pair =
+        |from: TxId,
+         to: TxId,
+         pg: &mut Polygraph,
+         seen: &mut std::collections::HashSet<(TxId, TxId)>| {
+            if from == to || !seen.insert((from, to)) {
+                return;
+            }
+            for &a in &scope_vertices[&from] {
+                for &b in &scope_vertices[&to] {
+                    if a != b {
+                        pg.add_edge(a, b);
+                    }
                 }
             }
-        }
-    };
+        };
     let add_vertex_edge = |from: VertexId, to: VertexId, pg: &mut Polygraph| {
         if from != to {
             pg.add_edge(from, to);

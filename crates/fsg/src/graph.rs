@@ -213,14 +213,8 @@ mod tests {
             let nb = (next() % 4) as usize;
             for _ in 0..nb {
                 g.add_bipath(
-                    (
-                        (next() % n as u64) as usize,
-                        (next() % n as u64) as usize,
-                    ),
-                    (
-                        (next() % n as u64) as usize,
-                        (next() % n as u64) as usize,
-                    ),
+                    ((next() % n as u64) as usize, (next() % n as u64) as usize),
+                    ((next() % n as u64) as usize, (next() % n as u64) as usize),
                 );
             }
             // Exhaustive check.

@@ -12,7 +12,10 @@ fn accepts(h: &crate::History, sem: Semantics) -> bool {
 fn fig1a_submission_run_accepted_by_both_orderings() {
     let (h, _, _) = paper::fig1a_serialized_at_submission();
     assert!(accepts(&h, Semantics::SO), "SO accepts submission order");
-    assert!(accepts(&h, Semantics::WO_GAC), "WO accepts submission order");
+    assert!(
+        accepts(&h, Semantics::WO_GAC),
+        "WO accepts submission order"
+    );
     assert!(accepts(&h, Semantics::WO_LAC));
 }
 
@@ -245,8 +248,8 @@ mod proptests {
     use crate::{History, Var};
     use proptest::prelude::*;
 
-    /// Random histories of serially-executed top-level transactions (each
-    /// observes the previous committed writer) must always be accepted.
+    // Random histories of serially-executed top-level transactions (each
+    // observes the previous committed writer) must always be accepted.
     proptest! {
         #[test]
         fn serial_histories_always_accepted(ops in proptest::collection::vec((0u32..4, 0u32..3), 1..30)) {

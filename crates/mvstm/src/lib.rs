@@ -5,20 +5,31 @@
 //! the paper builds WTF-TM on. The design mirrors JVSTM's essentials:
 //!
 //! * **Versioned boxes** ([`VBox<T>`]): every transactional location keeps
-//!   a chain of `(version, value)` pairs, newest first.
-//! * **Global version clock**: committing writers install their write-set
-//!   atomically at `clock + 1`.
+//!   a chain of `(version, value)` pairs, newest first — an immutable
+//!   cons list behind an atomic head pointer, so snapshot reads are
+//!   lock-free and installing a committed value is O(1).
+//! * **Global version clock**: committing writers reserve a version with
+//!   one atomic fetch-add and publish their write-set at that version.
 //! * **Snapshot reads**: a transaction reads the newest version no newer
 //!   than its begin snapshot, so *every* read observes a consistent memory
 //!   snapshot — this gives opacity without per-read validation, and lets
 //!   **read-only transactions commit without any validation** (JVSTM's
 //!   signature property).
-//! * **Commit-time validation** for update transactions: under the commit
-//!   lock, every read must still be current (no version newer than the
-//!   snapshot), otherwise the transaction aborts and is re-executed.
-//! * **Version GC** driven by an active-transaction registry (JVSTM's
-//!   `ActiveTransactionsRecord`): version chains are pruned down to the
-//!   oldest snapshot still in use.
+//! * **Commit-time validation** for update transactions under **striped
+//!   commit locks**: boxes hash onto 64 cache-line-padded lock stripes
+//!   ([`raw::STRIPES`]); a committer locks only the stripes covering its
+//!   read- and write-set (in ascending order — deadlock-free), validates
+//!   that every read is still current, installs, and publishes. Commits
+//!   with disjoint stripe footprints run fully in parallel; there is no
+//!   global commit mutex.
+//! * **Version GC** driven by a sharded, lock-free active-transaction
+//!   registry (JVSTM's `ActiveTransactionsRecord`): version chains are
+//!   pruned down to the oldest snapshot still in use.
+//!
+//! The commit-path concurrency protocol (stripe masks, the
+//! ticket/publish clock pair, and the reclamation argument for pruned
+//! versions) is documented in `DESIGN.md` § "Commit-path concurrency"
+//! and in the module docs of `stripe`, `vbox` and `registry`.
 //!
 //! The crate exposes two levels:
 //!
@@ -54,6 +65,7 @@
 mod hash;
 mod registry;
 mod stats;
+mod stripe;
 mod txn;
 mod value;
 mod vbox;
@@ -62,19 +74,27 @@ pub mod raw;
 
 pub use hash::{FxHashMap, FxHashSet};
 pub use stats::{StmStats, StmStatsSnapshot};
-pub use txn::{Aborted, StmError, Txn, TxResult};
+pub use txn::{Aborted, StmError, TxResult, Txn};
 pub use value::{BoxId, TxValue, Value};
 pub use vbox::VBox;
 
 use registry::ActiveRegistry;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use stripe::StripeTable;
 
 pub(crate) struct StmInner {
-    /// Global version clock; committed state has versions `0..=clock`.
+    /// Published version clock: committed state has versions `0..=clock`,
+    /// and all of them are fully installed. Only ever advanced by 1, in
+    /// ticket order, by `raw::commit_raw`.
     pub(crate) clock: AtomicU64,
-    /// Serializes validate+publish of update transactions.
-    pub(crate) commit_lock: parking_lot::Mutex<()>,
+    /// Version ticket dispenser: `fetch_add` here is the single global
+    /// atomic on the commit path. A ticket may be ahead of `clock` while
+    /// its commit is still installing.
+    pub(crate) next_version: AtomicU64,
+    /// Striped commit locks; shared with every `BoxBody` for safe chain
+    /// walks (see `stripe`).
+    pub(crate) stripes: Arc<StripeTable>,
     pub(crate) registry: ActiveRegistry,
     pub(crate) stats: StmStats,
     pub(crate) next_box: AtomicU64,
@@ -102,7 +122,8 @@ impl Stm {
         Stm {
             inner: Arc::new(StmInner {
                 clock: AtomicU64::new(0),
-                commit_lock: parking_lot::Mutex::new(()),
+                next_version: AtomicU64::new(0),
+                stripes: Arc::new(StripeTable::new()),
                 registry: ActiveRegistry::new(),
                 stats: StmStats::new(),
                 next_box: AtomicU64::new(0),
@@ -111,7 +132,7 @@ impl Stm {
         }
     }
 
-    /// Current value of the global version clock.
+    /// Current value of the published version clock.
     pub fn clock(&self) -> u64 {
         self.inner.clock.load(Ordering::Acquire)
     }

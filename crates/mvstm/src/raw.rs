@@ -1,18 +1,44 @@
 //! Low-level hooks used by `wtf-core` to layer transactional futures on
 //! top of the multi-versioned substrate, mirroring how WTF-TM layers on
 //! JVSTM. Regular applications should use [`Stm::atomic`] instead.
+//!
+//! This module owns the scalable commit protocol (see `DESIGN.md`
+//! § "Commit-path concurrency"):
+//!
+//! 1. lock the stripes covering the read- and write-set, in ascending
+//!    index order (deadlock-free);
+//! 2. validate every read against its head version under those stripes;
+//! 3. reserve a version ticket (`next_version.fetch_add` — the only
+//!    global atomic RMW on the path) and install the write-set at it,
+//!    O(1) per box;
+//! 4. wait for the published clock to reach `ticket - 1`, then publish
+//!    `clock = ticket` so the clock only ever exposes fully installed
+//!    prefixes (opacity);
+//! 5. GC the written boxes' chains down to the registry's horizon, still
+//!    under the stripes.
+//!
+//! Because tickets are reserved only *after* all stripes are held and
+//! validation has passed, a committer spinning in step 4 waits only on
+//! earlier ticket holders, each of which already holds every lock it
+//! needs — so publication always makes progress, in ticket order.
 
+use crate::stripe::StripeTable;
 use crate::value::{BoxId, TxValue, Value};
 pub use crate::vbox::BoxBody;
 use crate::{Stm, StmError, VBox};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// Number of commit-lock stripes (re-exported for tests/diagnostics).
+pub const STRIPES: usize = crate::stripe::STRIPES;
+
 /// RAII registration of a begin-snapshot with the active-transaction
 /// registry; keeps versions at-or-after the snapshot from being pruned.
 pub struct Snapshot {
     stm: Stm,
     version: u64,
+    /// Registry slot token (or the overflow sentinel) to release on drop.
+    slot: usize,
 }
 
 impl Snapshot {
@@ -24,18 +50,19 @@ impl Snapshot {
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        self.stm.inner.registry.deregister(self.version);
+        self.stm.inner.registry.deregister(self.slot, self.version);
     }
 }
 
-/// Begins a snapshot at the current clock (registered atomically with the
-/// clock read; see `ActiveRegistry::register_current` for the GC-race
-/// argument).
+/// Begins a snapshot at the current clock, registered against concurrent
+/// GC via the registry's publish-then-recheck protocol (see
+/// `ActiveRegistry::register_current` for the race argument).
 pub fn acquire_snapshot(stm: &Stm) -> Snapshot {
-    let version = stm.inner.registry.register_current(&stm.inner.clock);
+    let (version, slot) = stm.inner.registry.register_current(&stm.inner.clock);
     Snapshot {
         stm: stm.clone(),
         version,
+        slot,
     }
 }
 
@@ -50,7 +77,9 @@ pub fn id_of(body: &BoxBody) -> BoxId {
 }
 
 /// Reads the newest version of `body` visible at `snapshot`, returning
-/// `(observed_version, value)`.
+/// `(observed_version, value)`. The caller must hold a live [`Snapshot`]
+/// at a version `<= snapshot` for the duration of the call (that is what
+/// fences the lock-free chain walk against concurrent pruning).
 pub fn read_at(body: &BoxBody, snapshot: u64) -> (u64, Value) {
     body.read_at(snapshot)
 }
@@ -62,14 +91,18 @@ pub fn head_version(body: &BoxBody) -> u64 {
 
 /// Validates-and-publishes a write-set against `snapshot`.
 ///
-/// Under the global commit lock, every body in `reads` must have no
-/// version newer than `snapshot` (i.e. every value the transaction read is
-/// still current), after which all `writes` are installed atomically at
-/// `clock + 1`. Returns the new commit version.
+/// Under the stripes covering `reads` ∪ `writes`, every body in `reads`
+/// must have no version newer than `snapshot` (i.e. every value the
+/// transaction read is still current), after which all `writes` are
+/// installed atomically at a freshly reserved version. Returns the new
+/// commit version.
 ///
 /// With all reads re-validated at the commit point, the transaction is
 /// logically instantaneous at commit time, which yields serializability
-/// even in the presence of blind writes.
+/// even in the presence of blind writes. Locking the *read* stripes too
+/// (not just the write stripes) is what makes validation stable: no
+/// concurrent commit can install into a read box between our check and
+/// our publication, because it would need one of the stripes we hold.
 pub fn commit_raw<'a>(
     stm: &Stm,
     snapshot: u64,
@@ -78,40 +111,91 @@ pub fn commit_raw<'a>(
 ) -> Result<u64, StmError> {
     debug_assert!(!writes.is_empty(), "read-only commits skip commit_raw");
     let inner = &stm.inner;
-    let _guard = inner.commit_lock.lock();
-    for body in reads {
+    let read_bodies: Vec<&Arc<BoxBody>> = reads.into_iter().collect();
+    let mut mask = 0u64;
+    for body in &read_bodies {
+        mask |= StripeTable::mask_of(body.id);
+    }
+    for (body, _) in &writes {
+        mask |= StripeTable::mask_of(body.id);
+    }
+    let stripes = inner.stripes.lock_mask(mask);
+    for body in &read_bodies {
         if body.head_version() > snapshot {
             return Err(StmError::Conflict);
         }
     }
-    let new_version = inner.clock.load(Ordering::Acquire) + 1;
+    // Reserve the version ticket only now, after validation under locks:
+    // every reserved ticket is certain to publish, so the clock (advanced
+    // strictly in ticket order below) can never stall on an aborted
+    // commit.
+    let version = inner.next_version.fetch_add(1, Ordering::AcqRel) + 1;
     let gc = inner.gc_enabled.load(Ordering::Relaxed);
     let bodies: Vec<Arc<BoxBody>> = writes.iter().map(|(b, _)| b.clone()).collect();
     for (body, value) in writes {
-        body.install(new_version, value);
+        body.install(version, value);
     }
-    // Publish: the release store pairs with the acquire loads in
-    // `acquire_snapshot`, making all installed versions visible to any
-    // transaction that snapshots at `new_version`. GC runs only after
-    // publication, so its horizon (taken under the registry lock) cannot
-    // miss a concurrent registration at the pre-publication clock.
-    inner.clock.store(new_version, Ordering::Release);
+    // Publish in ticket order: wait until every earlier ticket is fully
+    // installed, then expose ours. A snapshot at clock value `c` therefore
+    // always sees a fully installed prefix `0..=c` (opacity). The wait is
+    // only ever on earlier ticket holders, each of which already holds all
+    // the locks it needs (see module docs), so this cannot deadlock.
+    let mut spins = 0u32;
+    while inner.clock.load(Ordering::Acquire) != version - 1 {
+        spins += 1;
+        if spins < 1 << 12 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    // SeqCst: orders the publication against the registry's slot stores
+    // and the horizon scan below (see `registry` module docs).
+    inner.clock.store(version, Ordering::SeqCst);
+    if spins > 0 {
+        inner.stats.publish_waits.fetch_add(1, Ordering::Relaxed);
+    }
+    // GC after publication, still under our stripes (prune requires the
+    // box's stripe): the horizon is the oldest live snapshot other than
+    // our own dying one.
     let mut pruned = 0usize;
     if gc {
-        let min_active = inner.registry.min_active_excluding(snapshot, new_version);
+        let min_active = inner.registry.min_active_excluding(snapshot, version);
         for body in &bodies {
             pruned += body.prune(min_active);
         }
     }
+    drop(stripes);
     inner.stats.commits.fetch_add(1, Ordering::Relaxed);
     inner
         .stats
         .versions_pruned
         .fetch_add(pruned as u64, Ordering::Relaxed);
-    Ok(new_version)
+    Ok(version)
 }
 
 /// Number of distinct snapshots currently registered (diagnostics).
 pub fn active_snapshots(stm: &Stm) -> usize {
     stm.inner.registry.active_snapshots()
+}
+
+/// The commit-lock stripe `id` hashes to (tests/diagnostics).
+pub fn stripe_index(id: BoxId) -> usize {
+    StripeTable::index_of(id)
+}
+
+/// RAII hold of a single commit-lock stripe, for tests that need to prove
+/// commits on *other* stripes proceed independently (there is no global
+/// commit mutex to get stuck on).
+pub struct StripeHold<'a> {
+    _guard: parking_lot::MutexGuard<'a, ()>,
+}
+
+/// Acquires stripe `index` and holds it until the returned guard drops.
+/// Any commit whose footprint includes this stripe will block; commits on
+/// disjoint stripes are unaffected.
+pub fn hold_stripe(stm: &Stm, index: usize) -> StripeHold<'_> {
+    StripeHold {
+        _guard: stm.inner.stripes.lock_one(index),
+    }
 }

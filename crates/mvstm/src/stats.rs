@@ -9,6 +9,7 @@ pub struct StmStats {
     pub(crate) read_only_commits: AtomicU64,
     pub(crate) aborts: AtomicU64,
     pub(crate) versions_pruned: AtomicU64,
+    pub(crate) publish_waits: AtomicU64,
 }
 
 impl StmStats {
@@ -18,6 +19,7 @@ impl StmStats {
             read_only_commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             versions_pruned: AtomicU64::new(0),
+            publish_waits: AtomicU64::new(0),
         }
     }
 
@@ -27,6 +29,7 @@ impl StmStats {
             read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+            publish_waits: self.publish_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -42,6 +45,9 @@ pub struct StmStatsSnapshot {
     pub aborts: u64,
     /// Old versions removed by commit-time GC.
     pub versions_pruned: u64,
+    /// Commits that had to spin for an earlier version ticket before
+    /// publishing (contention signal on the in-order publication step).
+    pub publish_waits: u64,
 }
 
 impl StmStatsSnapshot {

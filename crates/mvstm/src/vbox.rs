@@ -1,41 +1,93 @@
 //! Versioned boxes: the JVSTM storage cell.
+//!
+//! Each box stores its committed history as an immutable singly linked
+//! chain of [`VersionNode`]s, newest first, reached through an atomic
+//! head pointer. Snapshot reads walk the chain lock-free; installing a
+//! new version is a single pointer swing (O(1), vs the old
+//! `Vec::insert(0, ..)` which shifted the whole history); pruning
+//! detaches and frees the dead tail. The mutating operations are
+//! serialized per box by the owning [`Stm`]'s stripe locks (see
+//! `crate::stripe`), which is also what makes `chain_len` need a stripe.
+//!
+//! ## Memory reclamation
+//!
+//! `prune` frees detached nodes immediately — no epochs, no hazard
+//! pointers. That is sound because of the registry invariant: the GC
+//! horizon `min_active` computed at commit time never exceeds any live
+//! registered snapshot (see `crate::registry`). A reader walking on
+//! behalf of snapshot `s >= min_active` only dereferences nodes at or
+//! above the newest node with `version <= s`, all of which sit at or
+//! above the keep node (newest `version <= min_active`); `prune` frees
+//! only nodes strictly *below* the keep node and never touches the
+//! `next` pointer of any node above it, so the reader can never reach a
+//! freed node. The head node in particular is never freed while the box
+//! is alive, which is why [`BoxBody::head_version`] and
+//! [`VBox::read_latest`] are unconditionally safe.
 
+use crate::stripe::StripeTable;
 use crate::value::{downcast_value, BoxId, TxValue, Value};
 use crate::Stm;
-use parking_lot::RwLock;
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-/// One committed version of a box's value.
-pub(crate) struct Version {
+/// One committed version of a box's value: a node in the immutable
+/// newest-first chain.
+pub(crate) struct VersionNode {
     pub(crate) version: u64,
     pub(crate) value: Value,
+    /// Next-older version; null at the chain's tail. Only ever mutated by
+    /// `prune` (at the keep node, to detach the dead tail).
+    next: AtomicPtr<VersionNode>,
 }
 
 /// The untyped body shared by all handles to one box.
 pub struct BoxBody {
     pub(crate) id: BoxId,
-    /// Version chain, **newest first**. Guarded by a read-write lock: reads
-    /// take the shared lock for a short binary search; only committing
-    /// writers take it exclusively (briefly, under the global commit lock).
-    pub(crate) versions: RwLock<Vec<Version>>,
+    /// Newest version; never null (boxes are born with one version).
+    head: AtomicPtr<VersionNode>,
+    /// The owning STM's stripe table: `chain_len` takes this box's stripe
+    /// to walk safely against a concurrent committer's prune.
+    pub(crate) stripes: Arc<StripeTable>,
 }
 
 impl BoxBody {
-    /// Newest committed version number.
+    pub(crate) fn new(id: BoxId, stripes: Arc<StripeTable>, version: u64, value: Value) -> BoxBody {
+        let node = Box::into_raw(Box::new(VersionNode {
+            version,
+            value,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        BoxBody {
+            id,
+            head: AtomicPtr::new(node),
+            stripes,
+        }
+    }
+
+    /// Newest committed version number. Lock-free: the head node is never
+    /// freed while the box is alive.
     pub(crate) fn head_version(&self) -> u64 {
-        self.versions.read()[0].version
+        unsafe { (*self.head.load(Ordering::Acquire)).version }
     }
 
     /// Reads the newest version with `version <= snapshot`, returning the
-    /// version number observed alongside the value.
+    /// version number observed alongside the value. Lock-free.
+    ///
+    /// Callers must hold a live registration (see `crate::raw::Snapshot`)
+    /// at a version `<= snapshot`; that is what keeps every node this walk
+    /// dereferences out of reach of concurrent pruning (module docs).
     pub(crate) fn read_at(&self, snapshot: u64) -> (u64, Value) {
-        let chain = self.versions.read();
-        for v in chain.iter() {
-            if v.version <= snapshot {
-                return (v.version, v.value.clone());
+        let mut node = self.head.load(Ordering::Acquire);
+        let mut oldest_seen = u64::MAX;
+        while !node.is_null() {
+            let n = unsafe { &*node };
+            if n.version <= snapshot {
+                return (n.version, n.value.clone());
             }
+            oldest_seen = n.version;
+            node = n.next.load(Ordering::Acquire);
         }
         // Unreachable through the public API: every box is born with a
         // version stamped at-or-before any snapshot taken after its
@@ -43,37 +95,83 @@ impl BoxBody {
         panic!(
             "VBox {:?}: no version visible at snapshot {} (oldest retained: {}); \
              was the box created after the reading transaction began?",
-            self.id,
-            snapshot,
-            chain.last().map(|v| v.version).unwrap_or(u64::MAX)
+            self.id, snapshot, oldest_seen
         );
     }
 
-    /// Installs `value` at `version` (newest). Called only under the
-    /// commit lock. Pruning happens separately ([`BoxBody::prune`]) after
-    /// the commit publishes the new clock value.
+    /// Installs `value` at `version` (new head). O(1): allocates one node
+    /// and swings the head pointer. Callers must hold this box's stripe
+    /// lock — that is the per-box serialization of installers.
     pub(crate) fn install(&self, version: u64, value: Value) {
-        let mut chain = self.versions.write();
-        debug_assert!(chain[0].version < version, "versions must be monotonic");
-        chain.insert(0, Version { version, value });
+        let old_head = self.head.load(Ordering::Relaxed);
+        debug_assert!(
+            unsafe { (*old_head).version } < version,
+            "versions must be monotonic"
+        );
+        let node = Box::into_raw(Box::new(VersionNode {
+            version,
+            value,
+            next: AtomicPtr::new(old_head),
+        }));
+        // Release pairs with the Acquire head loads in read_at: a reader
+        // that sees the new node sees its fields and the old chain.
+        self.head.store(node, Ordering::Release);
     }
 
     /// Drops versions no active snapshot can observe: keeps every version
-    /// newer than `min_active` plus the newest one at-or-below it.
+    /// newer than `min_active` plus the newest one at-or-below it (the
+    /// keep node), detaching and freeing the rest. Callers must hold this
+    /// box's stripe lock. Returns the number of versions freed.
     pub(crate) fn prune(&self, min_active: u64) -> usize {
-        let mut chain = self.versions.write();
-        if let Some(keep_idx) = chain.iter().position(|v| v.version <= min_active) {
-            let pruned = chain.len() - keep_idx - 1;
-            chain.truncate(keep_idx + 1);
+        unsafe {
+            // The stripe lock excludes other mutators, so plain loads of
+            // our own pointers suffice; Acquire on traversal keeps us
+            // paired with installers on other boxes' freshly read heads.
+            let mut keep = self.head.load(Ordering::Acquire);
+            while !keep.is_null() && (*keep).version > min_active {
+                keep = (*keep).next.load(Ordering::Acquire);
+            }
+            if keep.is_null() {
+                return 0;
+            }
+            // Detach the dead tail below the keep node. Readers never load
+            // `next` of the keep node (its version is <= min_active, hence
+            // <= their snapshot: they stop there), so the freed nodes are
+            // unreachable the moment this swap completes.
+            let mut dead = (*keep).next.swap(ptr::null_mut(), Ordering::AcqRel);
+            let mut pruned = 0;
+            while !dead.is_null() {
+                let next = (*dead).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(dead));
+                pruned += 1;
+                dead = next;
+            }
             pruned
-        } else {
-            0
         }
     }
 
-    /// Number of retained versions (diagnostics / GC tests).
+    /// Number of retained versions (diagnostics / GC tests). Takes the
+    /// box's stripe lock so the walk cannot race a committer's prune.
     pub(crate) fn chain_len(&self) -> usize {
-        self.versions.read().len()
+        let _stripe = self.stripes.lock_mask(StripeTable::mask_of(self.id));
+        let mut len = 0;
+        let mut node = self.head.load(Ordering::Acquire);
+        while !node.is_null() {
+            len += 1;
+            node = unsafe { (*node).next.load(Ordering::Acquire) };
+        }
+        len
+    }
+}
+
+impl Drop for BoxBody {
+    fn drop(&mut self) {
+        // Exclusive access: free the whole chain.
+        let mut node = *self.head.get_mut();
+        while !node.is_null() {
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.load(Ordering::Relaxed);
+        }
     }
 }
 
@@ -109,13 +207,12 @@ impl<T: TxValue> VBox<T> {
         let id = BoxId(stm.inner.next_box.fetch_add(1, Ordering::Relaxed));
         let version = stm.inner.clock.load(Ordering::Acquire);
         VBox {
-            body: Arc::new(BoxBody {
+            body: Arc::new(BoxBody::new(
                 id,
-                versions: RwLock::new(vec![Version {
-                    version,
-                    value: Arc::new(value),
-                }]),
-            }),
+                stm.inner.stripes.clone(),
+                version,
+                Arc::new(value),
+            )),
             _marker: PhantomData,
         }
     }
@@ -128,10 +225,13 @@ impl<T: TxValue> VBox<T> {
     /// Reads the latest committed value, outside any transaction.
     ///
     /// Useful for inspecting results after a benchmark run; not
-    /// serializable with respect to anything.
+    /// serializable with respect to anything. Touches only the head node,
+    /// which is never reclaimed while the box is alive, so no snapshot
+    /// registration is needed.
     pub fn read_latest(&self) -> T {
-        let (_, v) = self.body.read_at(u64::MAX);
-        downcast_value(&v)
+        let node = self.body.head.load(Ordering::Acquire);
+        let value = unsafe { (*node).value.clone() };
+        downcast_value(&value)
     }
 
     /// Number of retained versions (GC diagnostics).

@@ -187,8 +187,7 @@ fn worker_loop(inner: &PoolInner) {
                 }
                 let inner2 = inner;
                 inner.clock.wait_until(&inner.available, || {
-                    inner2.shutdown.load(Ordering::SeqCst)
-                        || !inner2.queue.lock().is_empty()
+                    inner2.shutdown.load(Ordering::SeqCst) || !inner2.queue.lock().is_empty()
                 });
             }
         }

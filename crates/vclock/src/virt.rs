@@ -197,7 +197,9 @@ impl VirtualClock {
                 g.threads[me].state = TState::Ready;
                 let gate = Self::dispatch_next(&mut g).expect("runnable heap cannot be empty");
                 drop(g);
-                gate.map(|gt| gt.open());
+                if let Some(gt) = gate {
+                    gt.open();
+                }
                 self.park(me);
             }
             _ => {}
@@ -227,7 +229,9 @@ impl VirtualClock {
         match Self::dispatch_next(&mut g) {
             Some(gate) => {
                 drop(g);
-                gate.map(|gt| gt.open());
+                if let Some(gt) = gate {
+                    gt.open();
+                }
                 self.park(me);
             }
             None => self.deadlock(g, me),
@@ -276,7 +280,9 @@ impl VirtualClock {
         match Self::dispatch_next(&mut g) {
             Some(gate) => {
                 drop(g);
-                gate.map(|gt| gt.open());
+                if let Some(gt) = gate {
+                    gt.open();
+                }
             }
             None => self.deadlock(g, me),
         }

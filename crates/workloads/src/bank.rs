@@ -166,27 +166,25 @@ pub fn futures_replay(
                 let bank = bank.clone();
                 let log = log.clone();
                 tm.atomic(move |ctx| {
-                    let chunk =
-                        &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
+                    let chunk = &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
                     let mut in_flight: Vec<TxFuture<i64>> = Vec::new();
                     let mut kinds: Vec<bool> = Vec::new(); // is_total per in-flight
                     let mut next = 0usize;
-                    let settle =
-                        |ctx: &mut TxCtx,
-                         in_flight: &mut Vec<TxFuture<i64>>,
-                         kinds: &mut Vec<bool>|
-                         -> TxResult<()> {
-                            let (idx, value) = match policy {
-                                EvalPolicy::InOrder => (0, ctx.evaluate(&in_flight[0])?),
-                                EvalPolicy::OutOfOrder => ctx.evaluate_any(in_flight)?,
-                            };
-                            if kinds[idx] {
-                                assert_eq!(value, expected, "getTotalAmount invariant");
-                            }
-                            in_flight.remove(idx);
-                            kinds.remove(idx);
-                            Ok(())
+                    let settle = |ctx: &mut TxCtx,
+                                  in_flight: &mut Vec<TxFuture<i64>>,
+                                  kinds: &mut Vec<bool>|
+                     -> TxResult<()> {
+                        let (idx, value) = match policy {
+                            EvalPolicy::InOrder => (0, ctx.evaluate(&in_flight[0])?),
+                            EvalPolicy::OutOfOrder => ctx.evaluate_any(in_flight)?,
                         };
+                        if kinds[idx] {
+                            assert_eq!(value, expected, "getTotalAmount invariant");
+                        }
+                        in_flight.remove(idx);
+                        kinds.remove(idx);
+                        Ok(())
+                    };
                     while next < chunk.len() {
                         if in_flight.len() == cfg.concurrent_futures {
                             settle(ctx, &mut in_flight, &mut kinds)?;
@@ -231,8 +229,7 @@ pub fn toplevel_replay(cfg: &BankConfig, clients: usize) -> RunResult {
                 let bank = bank.clone();
                 let log = log.clone();
                 tm.atomic(move |ctx| {
-                    let chunk =
-                        &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
+                    let chunk = &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
                     for op in chunk {
                         let v = apply_op(ctx, &bank, &cfg, op)?;
                         if matches!(op, Op::GetTotalAmount) {

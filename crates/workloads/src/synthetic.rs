@@ -86,7 +86,12 @@ fn jittered(rng: &mut Xorshift, iter: u64) -> u64 {
 
 /// One task: `reads_per_task` random reads with `iter` spin between
 /// accesses, then `writes_per_task` hot-spot updates.
-fn run_task(ctx: &mut TxCtx, arrays: &Arrays, cfg: &SyntheticConfig, rng: &mut Xorshift) -> TxResult<i64> {
+fn run_task(
+    ctx: &mut TxCtx,
+    arrays: &Arrays,
+    cfg: &SyntheticConfig,
+    rng: &mut Xorshift,
+) -> TxResult<i64> {
     let mut acc = 0i64;
     for _ in 0..cfg.reads_per_task {
         ctx.work(jittered(rng, cfg.iter));
@@ -114,7 +119,8 @@ pub fn futures_run(cfg: &SyntheticConfig, semantics: Semantics, clients: usize) 
         ..RunSpec::new(semantics, clients, 1)
     };
     let cfg = *cfg;
-    let arrays: Arc<parking_lot::Mutex<Option<Arc<Arrays>>>> = Arc::new(parking_lot::Mutex::new(None));
+    let arrays: Arc<parking_lot::Mutex<Option<Arc<Arrays>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
     run_virtual(
         &spec,
         Arc::new(move |client, tm| {
@@ -160,7 +166,8 @@ pub fn toplevel_run(cfg: &SyntheticConfig, clients: usize, grouped: bool) -> Run
         ..RunSpec::new(Semantics::WO_GAC, clients, 1)
     };
     let cfg = *cfg;
-    let arrays: Arc<parking_lot::Mutex<Option<Arc<Arrays>>>> = Arc::new(parking_lot::Mutex::new(None));
+    let arrays: Arc<parking_lot::Mutex<Option<Arc<Arrays>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
     run_virtual(
         &spec,
         Arc::new(move |client, tm| {
@@ -280,7 +287,12 @@ pub fn read_only_nt(cfg: &SyntheticConfig, clients: usize, parallel: bool) -> Ru
 
 /// A non-transactional task: identical virtual charges, no STM bookkeeping
 /// beyond the raw memory traffic.
-fn nt_task(cfg: &SyntheticConfig, costs: &CostModel, bus: wtf_vclock::Resource, rng: &mut Xorshift) {
+fn nt_task(
+    cfg: &SyntheticConfig,
+    costs: &CostModel,
+    bus: wtf_vclock::Resource,
+    rng: &mut Xorshift,
+) {
     let c = Clock::current();
     for _ in 0..cfg.reads_per_task {
         c.advance(cfg.iter);
@@ -340,7 +352,8 @@ pub fn conflict_prone(cfg: &ConflictConfig, semantics: Semantics, clients: usize
         ..RunSpec::new(semantics, clients, 1)
     };
     let cfg = *cfg;
-    let arrays: Arc<parking_lot::Mutex<Option<Arc<Arrays>>>> = Arc::new(parking_lot::Mutex::new(None));
+    let arrays: Arc<parking_lot::Mutex<Option<Arc<Arrays>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
     let syn = SyntheticConfig {
         array_size: cfg.array_size,
         reads_per_task: cfg.reads_per_future,

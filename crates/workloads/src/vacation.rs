@@ -109,7 +109,9 @@ pub fn make_agency(tm: &FutureTm, cfg: &VacationConfig, seed: u64) -> Agency {
     };
     Agency {
         tables: [table(Kind::Flight), table(Kind::Car), table(Kind::Room)],
-        customers: (0..cfg.customers).map(|_| tm.new_vbox(Vec::new())).collect(),
+        customers: (0..cfg.customers)
+            .map(|_| tm.new_vbox(Vec::new()))
+            .collect(),
     }
 }
 
@@ -183,7 +185,12 @@ fn delete_customer(ctx: &mut TxCtx, agency: &Agency, customer: usize) -> TxResul
     Ok(())
 }
 
-fn update_tables(ctx: &mut TxCtx, agency: &Agency, cfg: &VacationConfig, rng: &mut Xorshift) -> TxResult<()> {
+fn update_tables(
+    ctx: &mut TxCtx,
+    agency: &Agency,
+    cfg: &VacationConfig,
+    rng: &mut Xorshift,
+) -> TxResult<()> {
     for _ in 0..4 {
         ctx.work(cfg.iter);
         let k = rng.below(3);
@@ -210,7 +217,8 @@ pub fn vacation_futures(
         ..RunSpec::new(semantics, clients, 1)
     };
     let cfg = *cfg;
-    let agency: Arc<parking_lot::Mutex<Option<Arc<Agency>>>> = Arc::new(parking_lot::Mutex::new(None));
+    let agency: Arc<parking_lot::Mutex<Option<Arc<Agency>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
     run_virtual(
         &spec,
         Arc::new(move |client, tm| {
@@ -283,7 +291,8 @@ pub fn vacation_toplevel(cfg: &VacationConfig, clients: usize) -> RunResult {
         ..RunSpec::new(Semantics::WO_GAC, clients, 1)
     };
     let cfg = *cfg;
-    let agency: Arc<parking_lot::Mutex<Option<Arc<Agency>>>> = Arc::new(parking_lot::Mutex::new(None));
+    let agency: Arc<parking_lot::Mutex<Option<Arc<Agency>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
     run_virtual(
         &spec,
         Arc::new(move |client, tm| {
@@ -387,8 +396,13 @@ mod tests {
                             let agency = agency.clone();
                             tm.atomic(move |ctx| {
                                 let mut frng = Xorshift::new(tx_seed);
-                                let picks =
-                                    lookup_chunk(ctx, &agency, &cfg, &mut frng, cfg.queries_per_tx)?;
+                                let picks = lookup_chunk(
+                                    ctx,
+                                    &agency,
+                                    &cfg,
+                                    &mut frng,
+                                    cfg.queries_per_tx,
+                                )?;
                                 reserve(ctx, &agency, customer, &picks)
                             })
                             .unwrap();

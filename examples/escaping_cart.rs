@@ -37,7 +37,10 @@ fn main() {
 }
 
 fn run_shop() -> i64 {
-    let tm = FutureTm::builder().semantics(Semantics::WO_GAC).workers(2).build();
+    let tm = FutureTm::builder()
+        .semantics(Semantics::WO_GAC)
+        .workers(2)
+        .build();
 
     // Seller shipping rates, updated concurrently by the sellers.
     let rate_a = tm.new_vbox(12i64);
@@ -91,7 +94,10 @@ fn run_shop() -> i64 {
         "escaping futures adopted: {}, re-executed after staleness: {}",
         stats.adopted_escaping, stats.reexecutions
     );
-    assert_eq!(stats.adopted_escaping, 1, "the quote escaped and was adopted");
+    assert_eq!(
+        stats.adopted_escaping, 1,
+        "the quote escaped and was adopted"
+    );
     tm.shutdown();
     total
 }

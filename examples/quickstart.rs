@@ -47,7 +47,10 @@ fn main() {
         })
         .unwrap();
 
-    println!("sold {} items at {}% discount: total {}", receipt.0, receipt.1, receipt.2);
+    println!(
+        "sold {} items at {}% discount: total {}",
+        receipt.0, receipt.1, receipt.2
+    );
     println!("inventory now: {}", inventory.read_latest());
     println!("sold counter:  {}", sold.read_latest());
 

@@ -61,8 +61,14 @@ fn main() {
 
     println!("== Part 2: the same histories under the formal semantics (FSG) ==\n");
     let histories: Vec<(&str, transactional_futures::fsg::History)> = vec![
-        ("fig1a (TF at submission)", paper::fig1a_serialized_at_submission().0),
-        ("fig1a (TF at evaluation)", paper::fig1a_serialized_at_evaluation().0),
+        (
+            "fig1a (TF at submission)",
+            paper::fig1a_serialized_at_submission().0,
+        ),
+        (
+            "fig1a (TF at evaluation)",
+            paper::fig1a_serialized_at_evaluation().0,
+        ),
         ("fig1a (torn increment)  ", paper::fig1a_torn().0),
         ("fig2  (spared abort)    ", paper::fig2().0),
         ("fig1c (escaping future) ", paper::fig1c().0),

@@ -1,0 +1,206 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! warmup-then-measure timing loop. It reports mean ns/iteration to
+//! stdout; there is no statistical analysis, HTML output, or regression
+//! detection.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always re-runs setup per batch of one).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+            warmup: Duration::from_millis(100),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &id.to_string(),
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+            f,
+        );
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    #[allow(dead_code)]
+    sample_size: usize,
+    measurement: Duration,
+    warmup: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.warmup,
+            self.measurement,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records the timed iterations.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    /// (total duration, iterations) accumulated by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f` in a loop: warmup until `warmup` elapses, then measure
+    /// until `measurement` elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            for _ in 0..8 {
+                black_box(f());
+            }
+            iters += 8;
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Like [`Bencher::iter`], but excludes `setup` from the timing by
+    /// timing each routine invocation individually.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while wall.elapsed() < self.measurement {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((timed, iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warmup: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warmup,
+        measurement,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<48} {ns:>12.1} ns/iter  ({iters} iters)");
+        }
+        _ => println!("{label:<48} (no iterations recorded)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_timing() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(10));
+        g.warm_up_time(Duration::from_millis(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

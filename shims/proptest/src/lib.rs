@@ -1,0 +1,311 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! exactly the surface the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges and
+//!   tuples of strategies;
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! deterministic seed and case index so it can be replayed by re-running
+//! the (fully deterministic) test. Each `proptest!` test runs a fixed
+//! number of cases derived from a per-test seed, so failures are
+//! reproducible across runs.
+
+use std::ops::Range;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: u64 = 48;
+
+/// Deterministic SplitMix64 generator used to derive test cases.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_unsigned {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_unsigned!(u8, u16, u32, u64, usize);
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct OneOf<V> {
+    pub options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.options.is_empty(), "prop_oneof! needs options");
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `elem` values with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size, rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Error type carried by `prop_assert*` failures.
+pub type TestCaseError = String;
+
+/// FNV-1a over the test name: gives each test a stable, distinct seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "prop_assert_eq failed: {} != {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::OneOf {
+            options: vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+],
+        }
+    }};
+}
+
+/// Defines `#[test]` functions that run their body over `CASES` generated
+/// inputs. Single-binding form: `fn name(pat in strategy) { .. }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($arg:ident in $strategy:expr) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = $strategy;
+                let seed = $crate::seed_for(stringify!($name));
+                for case in 0..$crate::CASES {
+                    let mut rng = $crate::TestRng::new(seed ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                    let $arg = $crate::Strategy::generate(&strategy, &mut rng);
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed:#x}): {e}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (-100i64..100).generate(&mut rng);
+            assert!((-100..100).contains(&v));
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = collection::vec(0u8..3, 1..40).generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s: OneOf<(usize, i64)> = prop_oneof![
+            (0usize..4).prop_map(|i| (i, 0i64)),
+            (0usize..4, -5i64..5).prop_map(|(i, d)| (i, d)),
+        ];
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let (i, d) = s.generate(&mut rng);
+            assert!(i < 4 && (-5..5).contains(&d));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(xs in collection::vec(1u64..10, 1..5)) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| (1..10).contains(&x)));
+        }
+    }
+}

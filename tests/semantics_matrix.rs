@@ -63,7 +63,7 @@ fn fig2_live_matches_formal_semantics() {
 fn lac_vs_gac_escaping_behavior() {
     let run = |sem: Semantics| {
         let clock = Clock::virtual_time();
-        let out = clock.enter(|| {
+        clock.enter(|| {
             let tm = FutureTm::builder().semantics(sem).workers(2).build();
             let x = tm.new_vbox(0i64);
             let x2 = x.clone();
@@ -81,17 +81,25 @@ fn lac_vs_gac_escaping_behavior() {
             let stats = tm.stats();
             tm.shutdown();
             (commit_time, stats, x.read_latest())
-        });
-        out
+        })
     };
     let (t_lac, stats_lac, x_lac) = run(Semantics::WO_LAC);
     assert!(t_lac >= 10_000, "LAC: commit blocked on the stray future");
-    assert_eq!(stats_lac.implicit_evaluations + stats_lac.serialized_at_submission, 1);
-    assert_eq!(x_lac, 7, "LAC: the future's effects committed with the spawner");
+    assert_eq!(
+        stats_lac.implicit_evaluations + stats_lac.serialized_at_submission,
+        1
+    );
+    assert_eq!(
+        x_lac, 7,
+        "LAC: the future's effects committed with the spawner"
+    );
 
     let (t_gac, _, x_gac) = run(Semantics::WO_GAC);
     assert!(t_gac < 10_000, "GAC: commit did not wait");
-    assert_eq!(x_gac, 0, "GAC: an unevaluated escaping future never serializes");
+    assert_eq!(
+        x_gac, 0,
+        "GAC: an unevaluated escaping future never serializes"
+    );
 }
 
 /// A chain of top-level transactions propagating an escaping future's
@@ -102,7 +110,10 @@ fn escaping_future_through_transaction_chain() {
     use transactional_futures::TxFuture;
     let clock = Clock::virtual_time();
     let (v, stats) = clock.enter(|| {
-        let tm = FutureTm::builder().semantics(Semantics::WO_GAC).workers(2).build();
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(2)
+            .build();
         let data = tm.new_vbox(21i64);
         let slot = tm.new_vbox::<Option<TxFuture<i64>>>(None);
         // T1 spawns and publishes.

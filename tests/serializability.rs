@@ -58,7 +58,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     for sub in permutations(n - 1) {
         for pos in 0..=sub.len() {
-            let mut p: Vec<usize> = sub.iter().map(|&v| v).collect();
+            let mut p: Vec<usize> = sub.to_vec();
             p.insert(pos, n - 1);
             out.push(p);
         }

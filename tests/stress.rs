@@ -42,7 +42,10 @@ fn fifty_six_futures_one_transaction() {
             })
             .unwrap();
         tm.shutdown();
-        assert!(boxes.iter().enumerate().all(|(i, b)| b.read_latest() == i as i64 + 100));
+        assert!(boxes
+            .iter()
+            .enumerate()
+            .all(|(i, b)| b.read_latest() == i as i64 + 100));
         sum
     });
     assert_eq!(sum, (0..56).sum::<i64>());
