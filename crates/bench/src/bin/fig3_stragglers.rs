@@ -8,8 +8,10 @@
 //! work); under SO it blocks the whole pipeline, under WO the other tasks
 //! stream around it.
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row};
+use std::sync::Arc;
+use wtf_bench::{emit_report, f3, print_scaling_note, table_header, table_row, FigReport};
 use wtf_core::{FutureTm, Semantics, TxFuture};
+use wtf_trace::{chrome, Json, Tracer};
 use wtf_vclock::Clock;
 
 const TASKS: usize = 8;
@@ -17,13 +19,17 @@ const CONCURRENT: usize = 3;
 const BASE_WORK: u64 = 10_000;
 const STRAGGLER_FACTOR: u64 = 10;
 
-/// Runs the Fig. 3 scenario; returns (per-task completion times, makespan).
-fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64) {
+/// Runs the Fig. 3 scenario; returns (per-task completion times, makespan)
+/// plus the tracer (recording at the `WTF_TRACE` level) for export.
+fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tracer>) {
     let clock = Clock::virtual_time();
-    let completions = clock.enter(|| {
+    let tracer = Tracer::from_env();
+    let t2 = Arc::clone(&tracer);
+    let completions = clock.enter(move || {
         let tm = FutureTm::builder()
             .semantics(semantics)
             .workers(CONCURRENT + 1)
+            .tracer(t2)
             .build();
         let log = tm.new_vbox::<Vec<(usize, u64)>>(Vec::new());
         let log2 = log.clone();
@@ -66,7 +72,7 @@ fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64) {
         tm.shutdown();
         out
     });
-    (completions, clock.makespan())
+    (completions, clock.makespan(), tracer)
 }
 
 fn main() {
@@ -75,19 +81,43 @@ fn main() {
         "Fig 3: task completion order and times (task 0 is the 10x straggler)",
         &["mode", "evaluation order (task@time)", "makespan"],
     );
-    for (name, sem, in_order) in [
-        ("SO (strongly ordered)", Semantics::SO, true),
-        ("WO (weakly ordered)", Semantics::WO_GAC, false),
+    let mut report = FigReport::new("fig3_stragglers");
+    for (name, mode, sem, in_order) in [
+        ("SO (strongly ordered)", "so", Semantics::SO, true),
+        ("WO (weakly ordered)", "wo", Semantics::WO_GAC, false),
     ] {
-        let (completions, makespan) = run(sem, in_order);
+        let (completions, makespan, tracer) = run(sem, in_order);
         let order: Vec<String> = completions
             .iter()
             .map(|(t, at)| format!("T{t}@{at}"))
             .collect();
         table_row(&[&name, &order.join(" "), &makespan]);
+        report.row(vec![
+            ("mode", mode.into()),
+            ("makespan", makespan.into()),
+            (
+                "completions",
+                Json::Arr(
+                    completions
+                        .iter()
+                        .map(|&(t, at)| {
+                            Json::obj(vec![("task", t.into()), ("completed_at", at.into())])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("trace", tracer.summary().to_json()),
+        ]);
+        // The headline deliverable of the tracing PR: a Perfetto-loadable
+        // timeline of the straggler pipeline (only when tracing is on —
+        // an empty trace would overwrite a useful baseline with noise).
+        if tracer.summary().enabled() {
+            let trace = chrome::chrome_trace(&tracer.lanes());
+            emit_report(&format!("fig3_trace_{mode}"), &trace);
+        }
     }
-    let (_, so) = run(Semantics::SO, true);
-    let (_, wo) = run(Semantics::WO_GAC, false);
+    let (_, so, _) = run(Semantics::SO, true);
+    let (_, wo, _) = run(Semantics::WO_GAC, false);
     println!();
     println!(
         "WO completes the 8 tasks {}x faster than SO (paper: WO is immune to stragglers)",
@@ -98,6 +128,7 @@ fn main() {
         "(straggler-bound lower bound ≈ {}, WO achieved {wo})",
         ideal.max(BASE_WORK * STRAGGLER_FACTOR)
     );
+    report.emit();
 }
 
 #[cfg(test)]
@@ -106,8 +137,8 @@ mod tests {
 
     #[test]
     fn wo_beats_so_on_stragglers() {
-        let (_, so) = run(Semantics::SO, true);
-        let (_, wo) = run(Semantics::WO_GAC, false);
+        let (_, so, _) = run(Semantics::SO, true);
+        let (_, wo, _) = run(Semantics::WO_GAC, false);
         assert!(wo < so, "WO {wo} should beat SO {so}");
         // WO is bounded by the straggler itself.
         assert!(wo <= BASE_WORK * STRAGGLER_FACTOR + BASE_WORK);

@@ -12,7 +12,8 @@
 //! and WTF tracks the NT futures closely (the WO bookkeeping is not the
 //! limiter).
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row};
+use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport};
+use wtf_trace::Json;
 use wtf_workloads::synthetic::{read_only, read_only_nt, SyntheticConfig};
 
 const CLIENTS: usize = 2;
@@ -38,6 +39,7 @@ fn main() {
         "Fig 6 left: speedup vs 2 non-parallelized NT threads",
         &["tx_length", "iter", "NT-futures", "WTF"],
     );
+    let mut report = FigReport::new("fig6_left");
     let lengths = [10usize, 100, 1_000, 10_000, 100_000];
     let iters = [0u64, 100, 1_000, 10_000, 100_000];
     for &iter in &iters {
@@ -52,6 +54,16 @@ fn main() {
                 &f3(nt.speedup_vs(&baseline)),
                 &f3(wtf.speedup_vs(&baseline)),
             ]);
+            report.row(vec![
+                ("tx_length", len.into()),
+                ("iter", iter.into()),
+                ("nt_speedup", Json::F64(nt.speedup_vs(&baseline))),
+                ("wtf_speedup", Json::F64(wtf.speedup_vs(&baseline))),
+                ("baseline", baseline.to_json()),
+                ("nt", nt.to_json()),
+                ("wtf", wtf.to_json()),
+            ]);
         }
     }
+    report.emit();
 }

@@ -7,8 +7,9 @@
 //! scans straggle the short `transfer`s, which is where out-of-order
 //! evaluation pays (the paper: >2x in the 50%/90% mixes).
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row, PAPER_THREADS};
+use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport, PAPER_THREADS};
 use wtf_core::Semantics;
+use wtf_trace::Json;
 use wtf_workloads::bank::{futures_replay, sequential_replay, BankConfig, EvalPolicy};
 
 fn cfg(update_percent: u64, concurrent_futures: usize) -> BankConfig {
@@ -40,6 +41,7 @@ fn main() {
             "abort_JTF",
         ],
     );
+    let mut report = FigReport::new("fig8");
     for update in [10u64, 50, 90] {
         let seq = sequential_replay(&cfg(update, 1));
         for &threads in &PAPER_THREADS {
@@ -57,6 +59,18 @@ fn main() {
                 &f3(ino.internal_abort_rate()),
                 &f3(jtf.internal_abort_rate()),
             ]);
+            report.row(vec![
+                ("update_percent", update.into()),
+                ("threads", threads.into()),
+                ("wtf_ooo_speedup", Json::F64(ooo.speedup_vs(&seq))),
+                ("wtf_ino_speedup", Json::F64(ino.speedup_vs(&seq))),
+                ("jtf_speedup", Json::F64(jtf.speedup_vs(&seq))),
+                ("sequential", seq.to_json()),
+                ("wtf_ooo", ooo.to_json()),
+                ("wtf_ino", ino.to_json()),
+                ("jtf", jtf.to_json()),
+            ]);
         }
     }
+    report.emit();
 }

@@ -11,8 +11,9 @@
 //! JTF second (futures shorten transactions but commit in spawn order),
 //! JVSTM worst and abort-prone at high parallelism.
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row};
+use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport};
 use wtf_core::Semantics;
+use wtf_trace::Json;
 use wtf_workloads::vacation::{
     vacation_futures, vacation_sequential, vacation_toplevel, VacationConfig,
 };
@@ -48,6 +49,7 @@ fn main() {
             "top_abort_rate",
         ],
     );
+    let mut report = FigReport::new("fig9");
     let seq = vacation_sequential(&cfg(1, TOTAL_TXS));
     // JVSTM: budget used entirely as top-level clients.
     for threads in [1usize, 2, 7, 14, 28, 56] {
@@ -60,6 +62,13 @@ fn main() {
             &threads,
             &f3(r.speedup_vs(&seq)),
             &f3(r.top_abort_rate()),
+        ]);
+        report.row(vec![
+            ("system", "jvstm".into()),
+            ("tops", threads.into()),
+            ("futures", 1usize.into()),
+            ("speedup", Json::F64(r.speedup_vs(&seq))),
+            ("result", r.to_json()),
         ]);
     }
     // WTF / JTF: 1, 2 and 7 top-level clients, rest of the budget as futures.
@@ -85,6 +94,23 @@ fn main() {
                 &f3(jtf.speedup_vs(&seq)),
                 &f3(jtf.top_abort_rate()),
             ]);
+            for (system, r) in [("wtf", &wtf), ("jtf", &jtf)] {
+                report.row(vec![
+                    ("system", system.into()),
+                    ("tops", tops.into()),
+                    ("futures", futures.into()),
+                    ("speedup", Json::F64(r.speedup_vs(&seq))),
+                    ("result", r.to_json()),
+                ]);
+            }
         }
     }
+    report.row(vec![
+        ("system", "sequential".into()),
+        ("tops", 1usize.into()),
+        ("futures", 1usize.into()),
+        ("speedup", Json::F64(1.0)),
+        ("result", seq.to_json()),
+    ]);
+    report.emit();
 }

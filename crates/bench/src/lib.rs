@@ -19,6 +19,8 @@
 //! lifecycle, FSG solving).
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use wtf_trace::Json;
 
 /// Prints a table header: `# <title>` followed by tab-separated columns.
 pub fn table_header(title: &str, columns: &[&str]) {
@@ -44,4 +46,88 @@ pub const PAPER_THREADS: [usize; 5] = [4, 8, 14, 28, 56];
 pub fn print_scaling_note(figure: &str) {
     println!("## {figure} — regenerated under the deterministic virtual clock");
     println!("## (paper-scale parameters reduced; see EXPERIMENTS.md for the mapping)");
+}
+
+/// Where the figure binaries write their JSON artifacts: `WTF_RESULTS_DIR`
+/// if set (CI points this at a scratch directory), else `results/` under
+/// the current directory (the workspace root when run via `cargo run`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("WTF_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// True when the binary was invoked with `--check-json`: after writing the
+/// report, re-read it and fail loudly unless it parses back to the same
+/// document (CI's exporter-regression guard).
+pub fn check_json_requested() -> bool {
+    std::env::args().any(|a| a == "--check-json")
+}
+
+/// Writes `report` as `<results_dir>/<name>.json` and returns the path.
+/// Rendering is deterministic (fixed key order, `u64`-preserving), so
+/// under the virtual clock two runs produce byte-identical files. With
+/// `--check-json` the file is read back and re-parsed; any mismatch
+/// aborts the process with a nonzero exit.
+pub fn emit_report(name: &str, report: &Json) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create results dir {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.json"));
+    let text = report.to_string();
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("## wrote {}", path.display());
+    if check_json_requested() {
+        let read_back =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("re-read {name}.json: {e}"));
+        match Json::parse(&read_back) {
+            Ok(parsed) if parsed == *report => {
+                println!("## --check-json: {name}.json OK ({} bytes)", text.len());
+            }
+            Ok(_) => {
+                eprintln!("--check-json: {name}.json parsed but did not round-trip");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("--check-json: {name}.json failed to parse: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    path
+}
+
+/// A figure report under construction: named rows of parameters plus the
+/// full [`RunResult`](wtf_workloads::RunResult) dumps for each system.
+pub struct FigReport {
+    figure: &'static str,
+    rows: Vec<Json>,
+}
+
+impl FigReport {
+    pub fn new(figure: &'static str) -> FigReport {
+        FigReport {
+            figure,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (an insertion-ordered object from `(key, value)` pairs).
+    pub fn row(&mut self, fields: Vec<(&str, Json)>) {
+        self.rows.push(Json::obj(fields));
+    }
+
+    /// The assembled report document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("figure", self.figure.into()),
+            ("clock", "virtual".into()),
+            ("rows", Json::Arr(self.rows.clone())),
+        ])
+    }
+
+    /// Writes the report into the results directory as `<figure>.json`.
+    pub fn emit(&self) -> PathBuf {
+        emit_report(self.figure, &self.to_json())
+    }
 }

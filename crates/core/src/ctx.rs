@@ -16,6 +16,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 use wtf_mvstm::raw;
 use wtf_mvstm::{BoxId, FxHashMap, StmError, TxResult, TxValue, VBox, Value};
+use wtf_trace::EventKind;
 
 /// Execution context of one sub-transaction thread.
 pub struct TxCtx {
@@ -230,12 +231,17 @@ impl TxCtx {
             self.top.top_submissions.lock().push(core.clone());
         }
         self.tm.stats.futures_submitted();
-        // Hand the body to a worker.
+        self.tm
+            .tracer
+            .record(EventKind::FutureSubmit, core.id, self.top.id);
+        // Hand the body to a worker; stamp the submission point so the
+        // worker can report the queue-to-start delay.
+        let submit_ts = self.tm.tracer.span_start();
         let pool = self.tm.pool();
         let tm = self.tm.clone();
         let top = self.top.clone();
         let core2 = core.clone();
-        pool.execute(move || run_future_body(tm, top, core2));
+        pool.execute(move || run_future_body(tm, top, core2, submit_ts));
         // The cursor moves to the continuation node.
         self.node = cont_arc;
         self.view_valid = false;
@@ -337,8 +343,8 @@ impl TxCtx {
                 }
                 FutState::Failed => return Err(StmError::UserAbort),
                 FutState::Cancelled => {
-                    if crate::trace_enabled() {
-                        eprintln!("[trace] evaluate hit Cancelled future {}", core.id);
+                    if crate::debug_enabled() {
+                        eprintln!("[debug] evaluate hit Cancelled future {}", core.id);
                     }
                     return Err(StmError::Conflict);
                 }
@@ -356,6 +362,11 @@ impl TxCtx {
                     match self.top.serialize_at_evaluation(core, cur, self.node.id) {
                         Ok(value) => {
                             self.tm.stats.serialized_at_evaluation();
+                            self.tm.tracer.record(
+                                EventKind::FutureSerializedEvaluation,
+                                core.id,
+                                self.top.id,
+                            );
                             self.view_valid = false;
                             return Ok(value);
                         }
@@ -364,6 +375,11 @@ impl TxCtx {
                             // future inline at the evaluation point.
                             self.tm.stats.internal_aborts();
                             self.tm.stats.reexecutions();
+                            self.tm.tracer.record(
+                                EventKind::FutureReexecuted,
+                                core.id,
+                                self.top.id,
+                            );
                             let out = self.reexecute_inline(core, cur);
                             if out.is_err() && core.state() == FutState::Adopting {
                                 // Release the claim so another evaluator
@@ -411,6 +427,11 @@ impl TxCtx {
                         value.clone(),
                     );
                     self.tm.stats.serialized_at_evaluation();
+                    self.tm.tracer.record(
+                        EventKind::FutureSerializedEvaluation,
+                        core.id,
+                        self.top.id,
+                    );
                     self.view_valid = false;
                     return Ok(value);
                 }
@@ -508,6 +529,9 @@ impl TxCtx {
             let value = core.result_value().expect("completed future has result");
             core.set_state(FutState::Adopted);
             self.tm.stats.adopted_escaping();
+            self.tm
+                .tracer
+                .record(EventKind::FutureAdopted, core.id, self.top.id);
             self.tm.clock.notify_all(&core.event);
             Ok(value)
         } else {
@@ -516,6 +540,9 @@ impl TxCtx {
             // (first successful) serialization becomes the fixed result.
             self.tm.stats.internal_aborts();
             self.tm.stats.reexecutions();
+            self.tm
+                .tracer
+                .record(EventKind::FutureReexecuted, core.id, self.top.id);
             let was_adopting = std::mem::replace(&mut self.adopting, true);
             let run = (core.body)(self);
             self.adopting = was_adopting;
@@ -524,6 +551,9 @@ impl TxCtx {
                     *core.result.lock() = Some(value.clone());
                     core.set_state(FutState::Adopted);
                     self.tm.stats.adopted_escaping();
+                    self.tm
+                        .tracer
+                        .record(EventKind::FutureAdopted, core.id, self.top.id);
                     self.tm.clock.notify_all(&core.event);
                     Ok(value)
                 }
@@ -588,6 +618,11 @@ impl TxCtx {
                             && self.top.node_count() == nodes_before;
                         if local {
                             self.tm.stats.segment_retries();
+                            self.tm.tracer.record(
+                                EventKind::SegmentRetried,
+                                node_id as u64,
+                                self.top.id,
+                            );
                             let fresh = self.top.reset_node(node_id, NodeKind::Continuation);
                             self.node = fresh;
                             self.view_valid = false;
@@ -612,6 +647,11 @@ impl TxCtx {
                         && self.node.is_doomed();
                     if local {
                         self.tm.stats.segment_retries();
+                        self.tm.tracer.record(
+                            EventKind::SegmentRetried,
+                            node_id as u64,
+                            self.top.id,
+                        );
                         let fresh = self.top.reset_node(node_id, NodeKind::Continuation);
                         self.node = fresh;
                         self.view_valid = false;

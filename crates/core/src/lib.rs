@@ -69,13 +69,15 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wtf_taskpool::TaskPool;
+use wtf_trace::{EventKind, Tracer};
 use wtf_vclock::{Clock, Resource};
 
-/// Diagnostic tracing (set `WTF_TRACE=1`): prints doom/replay decisions to
-/// stderr. Cached after the first check.
-pub(crate) fn trace_enabled() -> bool {
+/// Stderr debug prints (set `WTF_DEBUG=1`): doom/replay decisions.
+/// Cached after the first check. Structured tracing lives in `wtf-trace`
+/// and is controlled by `WTF_TRACE` instead.
+pub(crate) fn debug_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var_os("WTF_TRACE").is_some())
+    *ON.get_or_init(|| std::env::var_os("WTF_DEBUG").is_some())
 }
 
 pub(crate) struct TmInner {
@@ -85,6 +87,9 @@ pub(crate) struct TmInner {
     pub(crate) cfg: TmConfig,
     pub(crate) stats: TmStats,
     pub(crate) mem_bus: Option<Resource>,
+    /// Observability hooks; shared with the STM and the task pool so one
+    /// summary covers all layers. Disabled by default.
+    pub(crate) tracer: Arc<Tracer>,
     top_counter: AtomicU64,
     future_counter: AtomicU64,
 }
@@ -113,6 +118,7 @@ pub struct FutureTmBuilder {
     clock: Option<Clock>,
     stm: Option<Stm>,
     workers: usize,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl FutureTmBuilder {
@@ -148,6 +154,15 @@ impl FutureTmBuilder {
         self
     }
 
+    /// Report lifecycle events, latency histograms and abort attribution
+    /// into `tracer` (see `wtf-trace`). The tracer is shared with the
+    /// STM (unless one was supplied via [`FutureTmBuilder::stm`]) and the
+    /// worker pool, so one summary covers every layer.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     pub fn build(self) -> FutureTm {
         let clock = self
             .clock
@@ -158,7 +173,15 @@ impl FutureTmBuilder {
             !(must_enter && clock.is_virtual()),
             "a FutureTm over a virtual clock must be built inside Clock::enter              (its pool workers would otherwise deadlock the scheduler)"
         );
-        let make = |clock: &Clock| Arc::new(TaskPool::new(clock, self.workers));
+        let tracer = self.tracer.unwrap_or_else(Tracer::disabled);
+        let make = |clock: &Clock| {
+            Arc::new(TaskPool::with_tracer(
+                clock,
+                self.workers,
+                0,
+                Arc::clone(&tracer),
+            ))
+        };
         let pool = if must_enter {
             // Pool workers must be spawned from a registered thread.
             clock.enter(|| make(&clock))
@@ -172,12 +195,15 @@ impl FutureTmBuilder {
         };
         FutureTm {
             inner: Arc::new(TmInner {
-                stm: self.stm.unwrap_or_default(),
+                stm: self
+                    .stm
+                    .unwrap_or_else(|| Stm::with_tracer(Arc::clone(&tracer))),
                 clock,
                 pool: Mutex::new(Some(pool)),
                 cfg: self.cfg,
                 stats: TmStats::default(),
                 mem_bus,
+                tracer,
                 top_counter: AtomicU64::new(0),
                 future_counter: AtomicU64::new(0),
             }),
@@ -200,6 +226,7 @@ impl FutureTm {
             clock: None,
             stm: None,
             workers: 8,
+            tracer: None,
         }
     }
 
@@ -232,6 +259,12 @@ impl FutureTm {
     /// Runtime counters (abort rates, serialization points, ...).
     pub fn stats(&self) -> TmStatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// The tracer this TM reports into (disabled unless one was supplied
+    /// via [`FutureTmBuilder::tracer`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.inner.tracer
     }
 
     /// Runs `body` as a top-level transaction, retrying on conflicts until
@@ -268,14 +301,17 @@ impl FutureTm {
                         AttemptOutcome::Done(v) => return v,
                         AttemptOutcome::Internal => {
                             replays += 1;
-                            if crate::trace_enabled() {
-                                eprintln!("[trace] replay #{replays}");
+                            if crate::debug_enabled() {
+                                eprintln!("[debug] replay #{replays}");
                             }
                             if replays < MAX_REPLAYS {
                                 replay = Some(Vec::new());
                                 continue;
                             }
                             self.inner.stats.top_internal_restarts();
+                            self.inner
+                                .tracer
+                                .record(EventKind::TopInternalRestart, t.id, 0);
                             t.cancel(&self.inner);
                             top = None;
                             continue;
@@ -321,22 +357,25 @@ impl FutureTm {
             Ok(value) => match top.commit(&mut ctx) {
                 Ok(()) => AttemptOutcome::Done(Ok(value)),
                 Err(CommitFail::Internal) => {
-                    if crate::trace_enabled() {
-                        eprintln!("[trace] attempt commit internal");
+                    if crate::debug_enabled() {
+                        eprintln!("[debug] attempt commit internal");
                     }
                     if top.is_cancelled() {
                         AttemptOutcome::Full
                     } else {
                         self.inner.stats.top_internal_restarts();
+                        self.inner
+                            .tracer
+                            .record(EventKind::TopInternalRestart, top.id, 0);
                         AttemptOutcome::Internal
                     }
                 }
                 Err(CommitFail::CrossTop) => AttemptOutcome::Full,
             },
             Err(StmError::Conflict) => {
-                if crate::trace_enabled() {
+                if crate::debug_enabled() {
                     eprintln!(
-                        "[trace] attempt body conflict: top_doomed={} cancelled={}",
+                        "[debug] attempt body conflict: top_doomed={} cancelled={}",
                         top.is_doomed(),
                         top.is_cancelled()
                     );
@@ -345,10 +384,14 @@ impl FutureTm {
                     AttemptOutcome::Full
                 } else {
                     self.inner.stats.top_internal_restarts();
+                    self.inner
+                        .tracer
+                        .record(EventKind::TopInternalRestart, top.id, 0);
                     AttemptOutcome::Internal
                 }
             }
             Err(StmError::UserAbort) => {
+                self.inner.tracer.record(EventKind::TopUserAbort, top.id, 0);
                 top.cancel(&self.inner);
                 AttemptOutcome::Done(Err(Aborted))
             }

@@ -125,6 +125,17 @@ impl SubTxNode {
     pub fn reads_intersect(&self, ids: &FxHashMap<BoxId, ()>) -> bool {
         self.reads.lock().keys().any(|k| ids.contains_key(k))
     }
+
+    /// The smallest box id in `reads ∩ ids`, for abort attribution (the
+    /// minimum — not iteration order — so traces stay deterministic).
+    pub fn read_conflict_witness(&self, ids: &FxHashMap<BoxId, ()>) -> Option<BoxId> {
+        self.reads
+            .lock()
+            .keys()
+            .filter(|k| ids.contains_key(k))
+            .copied()
+            .min_by_key(|b| b.0)
+    }
 }
 
 #[cfg(test)]

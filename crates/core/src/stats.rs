@@ -29,6 +29,21 @@ macro_rules! counters {
                 }
             )+
         }
+
+        impl TmStatsSnapshot {
+            /// Difference between two snapshots (for measuring one run).
+            pub fn delta_since(&self, earlier: &TmStatsSnapshot) -> TmStatsSnapshot {
+                TmStatsSnapshot {
+                    $( $name: self.$name - earlier.$name, )+
+                }
+            }
+
+            /// `(name, value)` pairs in declaration order — generated
+            /// alongside the fields, so exporters can't go stale.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )+ ]
+            }
+        }
     };
 }
 
@@ -81,25 +96,6 @@ impl TmStatsSnapshot {
             self.serialized_at_submission + self.serialized_at_evaluation + self.adopted_escaping;
         rate(self.internal_aborts, successes)
     }
-
-    /// Difference between two snapshots (for measuring one run).
-    pub fn delta_since(&self, earlier: &TmStatsSnapshot) -> TmStatsSnapshot {
-        TmStatsSnapshot {
-            top_commits: self.top_commits - earlier.top_commits,
-            top_aborts: self.top_aborts - earlier.top_aborts,
-            top_internal_restarts: self.top_internal_restarts - earlier.top_internal_restarts,
-            futures_submitted: self.futures_submitted - earlier.futures_submitted,
-            serialized_at_submission: self.serialized_at_submission
-                - earlier.serialized_at_submission,
-            serialized_at_evaluation: self.serialized_at_evaluation
-                - earlier.serialized_at_evaluation,
-            adopted_escaping: self.adopted_escaping - earlier.adopted_escaping,
-            implicit_evaluations: self.implicit_evaluations - earlier.implicit_evaluations,
-            internal_aborts: self.internal_aborts - earlier.internal_aborts,
-            reexecutions: self.reexecutions - earlier.reexecutions,
-            segment_retries: self.segment_retries - earlier.segment_retries,
-        }
-    }
 }
 
 fn rate(bad: u64, good: u64) -> f64 {
@@ -137,5 +133,11 @@ mod tests {
         let d = after.delta_since(&before);
         assert_eq!(d.top_commits, 1);
         assert_eq!(d.internal_aborts, 1);
+        // fields() comes from the same macro list as the struct, so its
+        // total must equal everything counted since `before`.
+        assert_eq!(d.fields().iter().map(|(_, v)| v).sum::<u64>(), 2);
+        let names: Vec<&str> = d.fields().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"top_commits"));
+        assert!(names.contains(&"segment_retries"));
     }
 }

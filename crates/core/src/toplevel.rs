@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use wtf_mvstm::raw::{self, BoxBody};
 use wtf_mvstm::{BoxId, FxHashMap, StmError, Value};
+use wtf_trace::EventKind;
 use wtf_vclock::Event;
 
 /// Outcome of a future body's commit request (§4.1 commit logic).
@@ -90,6 +91,8 @@ impl TopLevel {
             committed: Mutex::new(None),
         });
         tm.clock.advance(tm.cfg.costs.begin_cost);
+        tm.tracer
+            .record(EventKind::TopBegin, id, top.snapshot.version());
         top
     }
 
@@ -320,9 +323,9 @@ impl TopLevel {
                     g.set_status(m, NodeStatus::ICommitted);
                 }
                 for &n in &conflicters {
-                    if crate::trace_enabled() {
+                    if crate::debug_enabled() {
                         eprintln!(
-                            "[trace] future {} dooms node {} (active={})",
+                            "[debug] future {} dooms node {} (active={})",
                             core.id,
                             n,
                             g.status[n] == NodeStatus::Active && g.succs[n].is_empty()
@@ -330,6 +333,18 @@ impl TopLevel {
                     }
                     nodes[n].doom();
                     tm.stats.internal_aborts();
+                    if tm.tracer.on() {
+                        // Attribute the doom to the box the reader lost.
+                        let witness = nodes[n].read_conflict_witness(&write_ids);
+                        if let Some(b) = witness {
+                            tm.tracer.charge_conflict(b.0);
+                        }
+                        tm.tracer.record(
+                            EventKind::SegmentDoomed,
+                            n as u64,
+                            witness.map(|b| b.0).unwrap_or(u64::MAX),
+                        );
+                    }
                     let contained = g.status[n] == NodeStatus::Active && g.succs[n].is_empty();
                     if !contained {
                         self.doom();
@@ -358,6 +373,8 @@ impl TopLevel {
             FutureCommitOutcome::SerializedAtSubmission => {
                 if transition(FutState::Serialized) {
                     tm.stats.serialized_at_submission();
+                    tm.tracer
+                        .record(EventKind::FutureSerializedSubmission, core.id, self.id);
                 }
             }
             FutureCommitOutcome::Pending => {
@@ -473,6 +490,8 @@ impl TopLevel {
         for child in children {
             self.cancel_children(tm, &child);
             child.set_state(FutState::Cancelled);
+            tm.tracer
+                .record(EventKind::FutureCancelled, child.id, self.id);
             self.graph.update(|g| {
                 g.set_status(child.node, NodeStatus::Aborted);
                 if let Some(f) = *child.final_node.lock() {
@@ -491,6 +510,10 @@ impl TopLevel {
             let st = fut.state();
             if st != FutState::Adopted {
                 fut.set_state(FutState::Cancelled);
+                if st != FutState::Cancelled {
+                    tm.tracer
+                        .record(EventKind::FutureCancelled, fut.id, self.id);
+                }
             }
             tm.clock.notify_all(&fut.event);
         }
@@ -633,10 +656,14 @@ impl TopLevel {
         let version = if writes.is_empty() {
             self.snapshot_version()
         } else {
-            match raw::commit_raw(&tm.stm, self.snapshot_version(), reads.iter(), writes) {
+            match raw::commit_attributed(&tm.stm, self.snapshot_version(), reads.iter(), writes) {
                 Ok(v) => v,
-                Err(_) => {
+                Err(conflict_box) => {
                     tm.stats.top_aborts();
+                    // The substrate already charged the conflict map; the
+                    // event stream additionally ties the abort to this top.
+                    tm.tracer
+                        .record(EventKind::TopConflictAbort, self.id, conflict_box.0);
                     return Err(CommitFail::CrossTop);
                 }
             }
@@ -655,6 +682,7 @@ impl TopLevel {
             tm.clock.notify_all(&fut.event);
         }
         tm.stats.top_commits();
+        tm.tracer.record(EventKind::TopCommit, self.id, version);
         Ok(())
     }
 
@@ -786,7 +814,19 @@ impl TopLevel {
 }
 
 /// Worker-side execution of a future's body, with internal retry.
-pub(crate) fn run_future_body(tm: Arc<TmInner>, top: Arc<TopLevel>, core: Arc<FutureCore>) {
+/// `submit_ts` is the submission-point timestamp (0 when tracing is off)
+/// used to measure the queue-to-start delay.
+pub(crate) fn run_future_body(
+    tm: Arc<TmInner>,
+    top: Arc<TopLevel>,
+    core: Arc<FutureCore>,
+    submit_ts: u64,
+) {
+    if tm.tracer.on() {
+        let delay = tm.tracer.now().saturating_sub(submit_ts);
+        tm.tracer.metrics.queue_delay.record(delay);
+        tm.tracer.record(EventKind::FutureStart, core.id, delay);
+    }
     let mut guard = 0u32;
     loop {
         guard += 1;
@@ -828,8 +868,8 @@ pub(crate) fn run_future_body(tm: Arc<TmInner>, top: Arc<TopLevel>, core: Arc<Fu
                 }
             }
             Err(StmError::Conflict) => {
-                if crate::trace_enabled() {
-                    eprintln!("[trace] future {} body conflict, retrying", core.id);
+                if crate::debug_enabled() {
+                    eprintln!("[debug] future {} body conflict, retrying", core.id);
                 }
                 tm.stats.internal_aborts();
                 top.cancel_children(&tm, &core);

@@ -82,6 +82,7 @@ use registry::ActiveRegistry;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use stripe::StripeTable;
+use wtf_trace::Tracer;
 
 pub(crate) struct StmInner {
     /// Published version clock: committed state has versions `0..=clock`,
@@ -100,6 +101,10 @@ pub(crate) struct StmInner {
     pub(crate) next_box: AtomicU64,
     /// When false, version chains grow without bound (ablation knob).
     pub(crate) gc_enabled: AtomicBool,
+    /// Observability hooks (`wtf-trace`). Always present — a disabled
+    /// tracer costs one relaxed load per hook — so the hot paths carry
+    /// no `Option` branch.
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 /// A software transactional memory instance.
@@ -119,6 +124,13 @@ impl Default for Stm {
 
 impl Stm {
     pub fn new() -> Stm {
+        Stm::with_tracer(Tracer::disabled())
+    }
+
+    /// An `Stm` whose commit path reports into `tracer`: commit/validation
+    /// latency histograms, publish-wait spans, per-box abort attribution
+    /// and (at `Full` level) per-install events.
+    pub fn with_tracer(tracer: Arc<Tracer>) -> Stm {
         Stm {
             inner: Arc::new(StmInner {
                 clock: AtomicU64::new(0),
@@ -128,8 +140,14 @@ impl Stm {
                 stats: StmStats::new(),
                 next_box: AtomicU64::new(0),
                 gc_enabled: AtomicBool::new(true),
+                tracer,
             }),
         }
+    }
+
+    /// The tracer this instance reports into (disabled by default).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.inner.tracer
     }
 
     /// Current value of the published version clock.

@@ -109,8 +109,22 @@ pub fn commit_raw<'a>(
     reads: impl IntoIterator<Item = &'a Arc<BoxBody>>,
     writes: Vec<(Arc<BoxBody>, Value)>,
 ) -> Result<u64, StmError> {
+    commit_attributed(stm, snapshot, reads, writes).map_err(|_| StmError::Conflict)
+}
+
+/// Like [`commit_raw`], but a validation failure reports the id of the
+/// box whose version check failed — the input higher layers need for
+/// abort attribution (`wtf-trace` conflict hotspots).
+pub fn commit_attributed<'a>(
+    stm: &Stm,
+    snapshot: u64,
+    reads: impl IntoIterator<Item = &'a Arc<BoxBody>>,
+    writes: Vec<(Arc<BoxBody>, Value)>,
+) -> Result<u64, BoxId> {
     debug_assert!(!writes.is_empty(), "read-only commits skip commit_raw");
     let inner = &stm.inner;
+    let tracer = &inner.tracer;
+    let commit_start = tracer.span_start();
     let read_bodies: Vec<&Arc<BoxBody>> = reads.into_iter().collect();
     let mut mask = 0u64;
     for body in &read_bodies {
@@ -122,8 +136,19 @@ pub fn commit_raw<'a>(
     let stripes = inner.stripes.lock_mask(mask);
     for body in &read_bodies {
         if body.head_version() > snapshot {
-            return Err(StmError::Conflict);
+            // Attribute the abort to the box whose version check failed —
+            // the input to the per-run conflict hotspot report.
+            tracer.charge_conflict(body.id.0);
+            return Err(body.id);
         }
+    }
+    let validated = tracer.span_end(
+        wtf_trace::EventKind::StmValidationSpan,
+        commit_start,
+        read_bodies.len() as u64,
+    );
+    if tracer.on() {
+        tracer.metrics.validation_latency.record(validated);
     }
     // Reserve the version ticket only now, after validation under locks:
     // every reserved ticket is certain to publish, so the clock (advanced
@@ -134,6 +159,7 @@ pub fn commit_raw<'a>(
     let bodies: Vec<Arc<BoxBody>> = writes.iter().map(|(b, _)| b.clone()).collect();
     for (body, value) in writes {
         body.install(version, value);
+        tracer.record_full(wtf_trace::EventKind::StmInstall, body.id.0, version);
     }
     // Publish in ticket order: wait until every earlier ticket is fully
     // installed, then expose ours. A snapshot at clock value `c` therefore
@@ -141,6 +167,7 @@ pub fn commit_raw<'a>(
     // only ever on earlier ticket holders, each of which already holds all
     // the locks it needs (see module docs), so this cannot deadlock.
     let mut spins = 0u32;
+    let publish_start = tracer.span_start();
     while inner.clock.load(Ordering::Acquire) != version - 1 {
         spins += 1;
         if spins < 1 << 12 {
@@ -155,6 +182,22 @@ pub fn commit_raw<'a>(
     if spins > 0 {
         inner.stats.publish_waits.fetch_add(1, Ordering::Relaxed);
     }
+    if tracer.on() {
+        // The histogram replaces the single-integer `publish_waits` as
+        // the contention signal: it shows *how long* publication stalls,
+        // not just that it did. The span is only worth a trace row when
+        // the committer actually waited.
+        let waited = tracer.now().saturating_sub(publish_start);
+        tracer.metrics.publish_wait.record(waited);
+        if spins > 0 {
+            tracer.record_at(
+                publish_start,
+                wtf_trace::EventKind::PublishWaitSpan,
+                waited,
+                version,
+            );
+        }
+    }
     // GC after publication, still under our stripes (prune requires the
     // box's stripe): the horizon is the oldest live snapshot other than
     // our own dying one.
@@ -162,7 +205,11 @@ pub fn commit_raw<'a>(
     if gc {
         let min_active = inner.registry.min_active_excluding(snapshot, version);
         for body in &bodies {
-            pruned += body.prune(min_active);
+            let freed = body.prune(min_active);
+            if freed > 0 {
+                tracer.record_full(wtf_trace::EventKind::StmPrune, body.id.0, freed as u64);
+            }
+            pruned += freed;
         }
     }
     drop(stripes);
@@ -171,6 +218,10 @@ pub fn commit_raw<'a>(
         .stats
         .versions_pruned
         .fetch_add(pruned as u64, Ordering::Relaxed);
+    if tracer.on() {
+        let dur = tracer.span_end(wtf_trace::EventKind::StmCommitSpan, commit_start, version);
+        tracer.metrics.commit_latency.record(dur);
+    }
     Ok(version)
 }
 

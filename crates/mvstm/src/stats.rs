@@ -60,4 +60,64 @@ impl StmStatsSnapshot {
             self.aborts as f64 / attempts as f64
         }
     }
+
+    /// Counters gained since `earlier` (parity with
+    /// `TmStatsSnapshot::delta_since`), so multi-run processes sharing
+    /// one `Stm` don't double-count earlier runs' activity.
+    pub fn delta_since(&self, earlier: &StmStatsSnapshot) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            commits: self.commits - earlier.commits,
+            read_only_commits: self.read_only_commits - earlier.read_only_commits,
+            aborts: self.aborts - earlier.aborts,
+            versions_pruned: self.versions_pruned - earlier.versions_pruned,
+            publish_waits: self.publish_waits - earlier.publish_waits,
+        }
+    }
+
+    /// `(name, value)` pairs in declaration order — the single list the
+    /// JSON exporters iterate, so they can't drift from the fields.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("commits", self.commits),
+            ("read_only_commits", self.read_only_commits),
+            ("aborts", self.aborts),
+            ("versions_pruned", self.versions_pruned),
+            ("publish_waits", self.publish_waits),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta() {
+        let stats = StmStats::new();
+        stats.commits.fetch_add(5, Ordering::Relaxed);
+        stats.aborts.fetch_add(2, Ordering::Relaxed);
+        let before = stats.snapshot();
+        stats.commits.fetch_add(3, Ordering::Relaxed);
+        stats.publish_waits.fetch_add(1, Ordering::Relaxed);
+        let d = stats.snapshot().delta_since(&before);
+        assert_eq!(d.commits, 3);
+        assert_eq!(d.aborts, 0);
+        assert_eq!(d.publish_waits, 1);
+        assert_eq!(d.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        let snap = StmStatsSnapshot {
+            commits: 1,
+            read_only_commits: 2,
+            aborts: 3,
+            versions_pruned: 4,
+            publish_waits: 5,
+        };
+        // Sum over fields() must equal the sum of all struct fields: a
+        // counter missing from fields() breaks this identity.
+        let total: u64 = snap.fields().iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 1 + 2 + 3 + 4 + 5);
+    }
 }

@@ -294,6 +294,55 @@ fn snapshot_registry_counts() {
     assert_eq!(raw::active_snapshots(&stm), 0);
 }
 
+#[test]
+fn tracer_attributes_conflicts_and_measures_commits() {
+    use wtf_trace::{TraceLevel, Tracer};
+    let tracer = Tracer::new(TraceLevel::Lifecycle);
+    let stm = Stm::with_tracer(Arc::clone(&tracer));
+    let x = VBox::new(&stm, 0i64);
+    let y = VBox::new(&stm, 0i64);
+
+    // Interleave by hand as in `conflicting_writers_abort_and_retry`:
+    // T1 reads x at an old snapshot; T2 bumps x; T1's commit conflicts.
+    let snap1 = raw::acquire_snapshot(&stm);
+    let body_x = raw::body_of(&x);
+    raw::read_at(&body_x, snap1.version());
+    stm.atomic(|tx| tx.write(&x, 99)).unwrap();
+    let body_y = raw::body_of(&y);
+    let err = raw::commit_raw(
+        &stm,
+        snap1.version(),
+        [&body_x],
+        vec![(body_y, Arc::new(1i64) as crate::Value)],
+    )
+    .unwrap_err();
+    assert_eq!(err, StmError::Conflict);
+
+    // The abort is charged to x, the box whose validation failed.
+    let summary = tracer.summary();
+    assert_eq!(summary.conflict_total, 1);
+    assert_eq!(summary.hotspots, vec![(raw::id_of(&raw::body_of(&x)).0, 1)]);
+    // The successful commit fed the latency histograms.
+    assert_eq!(summary.commit_latency.count, 1);
+    assert_eq!(summary.validation_latency.count, 1);
+    assert_eq!(summary.publish_wait.count, 1);
+    assert!(tracer.events_recorded() > 0);
+}
+
+#[test]
+fn disabled_tracer_stm_records_nothing() {
+    let stm = Stm::new();
+    let x = VBox::new(&stm, 0i64);
+    for i in 0..10 {
+        stm.atomic(|tx| tx.write(&x, i)).unwrap();
+    }
+    let summary = stm.tracer().summary();
+    assert!(!summary.enabled());
+    assert_eq!(summary.events_recorded, 0);
+    assert_eq!(summary.commit_latency.count, 0);
+    assert_eq!(summary.conflict_total, 0);
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;

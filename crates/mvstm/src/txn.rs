@@ -64,7 +64,11 @@ impl<'s> Txn<'s> {
         if let Some((_, v)) = self.write_set.get(&vbox.body.id) {
             return Ok(downcast_value(v));
         }
-        let (_, value) = vbox.body.read_at(self.snapshot.version());
+        let (version, value) = vbox.body.read_at(self.snapshot.version());
+        self.stm
+            .inner
+            .tracer
+            .record_full(wtf_trace::EventKind::StmRead, vbox.body.id.0, version);
         self.read_set
             .entry(vbox.body.id)
             .or_insert_with(|| vbox.body.clone());

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wtf_trace::{EventKind, Tracer};
 use wtf_vclock::{Clock, Event, JoinHandle};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -33,6 +34,8 @@ struct PoolInner {
     shutdown: AtomicBool,
     /// Number of workers currently executing a task (diagnostics).
     busy: AtomicUsize,
+    /// Observability: workers emit busy/idle spans into this tracer.
+    tracer: Arc<Tracer>,
 }
 
 /// A fixed-size pool of clock-registered worker threads.
@@ -56,6 +59,17 @@ impl TaskPool {
     /// Like [`TaskPool::new`], charging `dispatch_cost` clock units to every
     /// submitter.
     pub fn with_dispatch_cost(clock: &Clock, workers: usize, dispatch_cost: u64) -> TaskPool {
+        Self::with_tracer(clock, workers, dispatch_cost, Tracer::disabled())
+    }
+
+    /// Full constructor: workers report busy/idle spans into `tracer`
+    /// (one relaxed load per transition when tracing is off).
+    pub fn with_tracer(
+        clock: &Clock,
+        workers: usize,
+        dispatch_cost: u64,
+        tracer: Arc<Tracer>,
+    ) -> TaskPool {
         assert!(workers > 0, "a task pool needs at least one worker");
         let inner = Arc::new(PoolInner {
             clock: clock.clone(),
@@ -63,11 +77,12 @@ impl TaskPool {
             available: clock.new_event(),
             shutdown: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
+            tracer,
         });
         let handles = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
-                clock.spawn(&format!("pool-worker-{i}"), move || worker_loop(&inner))
+                clock.spawn(&format!("pool-worker-{i}"), move || worker_loop(&inner, i))
             })
             .collect();
         TaskPool {
@@ -169,7 +184,7 @@ impl<T> TaskHandle<T> {
     }
 }
 
-fn worker_loop(inner: &PoolInner) {
+fn worker_loop(inner: &PoolInner, index: usize) {
     loop {
         let task = {
             let mut q = inner.queue.lock();
@@ -178,7 +193,11 @@ fn worker_loop(inner: &PoolInner) {
         match task {
             Some(task) => {
                 inner.busy.fetch_add(1, Ordering::Relaxed);
+                let start = inner.tracer.span_start();
                 task();
+                inner
+                    .tracer
+                    .span_end(EventKind::WorkerBusySpan, start, index as u64);
                 inner.busy.fetch_sub(1, Ordering::Relaxed);
             }
             None => {
@@ -186,9 +205,13 @@ fn worker_loop(inner: &PoolInner) {
                     return;
                 }
                 let inner2 = inner;
+                let start = inner.tracer.span_start();
                 inner.clock.wait_until(&inner.available, || {
                     inner2.shutdown.load(Ordering::SeqCst) || !inner2.queue.lock().is_empty()
                 });
+                inner
+                    .tracer
+                    .span_end(EventKind::WorkerIdleSpan, start, index as u64);
             }
         }
     }
@@ -284,6 +307,34 @@ mod tests {
             v
         });
         assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn workers_emit_busy_spans_when_traced() {
+        use wtf_trace::TraceLevel;
+        let tracer = Tracer::new(TraceLevel::Lifecycle);
+        let clock = Clock::virtual_time();
+        let t2 = tracer.clone();
+        clock.enter(move || {
+            let c = Clock::current();
+            let pool = TaskPool::with_tracer(&c, 2, 0, t2);
+            let handles: Vec<_> = (0..4)
+                .map(|_| pool.submit(|| Clock::current().advance(100)))
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            pool.shutdown();
+        });
+        let busy: Vec<_> = tracer
+            .lanes()
+            .into_iter()
+            .flat_map(|(_, evs)| evs)
+            .filter(|e| e.kind == EventKind::WorkerBusySpan)
+            .collect();
+        assert_eq!(busy.len(), 4, "one busy span per task");
+        // Span durations are virtual-clock exact: each task advanced 100.
+        assert!(busy.iter().all(|e| e.a == 100));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Abort attribution: which boxes and stripes cause conflicts.
+//!
+//! `TmStats` can say *how many* aborts happened; it cannot say *where*.
+//! The conflict map charges every abort to the `VBox` whose version
+//! check failed (and to its commit-lock stripe), producing the per-run
+//! "conflict hotspot" report in the JSON dump. The stripe counters are
+//! a fixed array of relaxed atomics (free to bump); the per-box map is
+//! behind a mutex, which is fine because attribution only runs on the
+//! abort path — already the slow path.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Must match `wtf-mvstm`'s stripe count so stripe indices line up.
+pub const STRIPES: usize = 64;
+
+/// Aggregated conflict counters, keyed by box id and stripe.
+pub struct ConflictMap {
+    stripes: [AtomicU64; STRIPES],
+    /// BTreeMap so iteration (and thus export) order is deterministic.
+    boxes: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl Default for ConflictMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConflictMap {
+    pub fn new() -> ConflictMap {
+        ConflictMap {
+            stripes: std::array::from_fn(|_| AtomicU64::new(0)),
+            boxes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Charges one conflict to `box_id`. Called on abort paths only.
+    pub fn charge(&self, box_id: u64) {
+        self.stripes[(box_id as usize) & (STRIPES - 1)].fetch_add(1, Ordering::Relaxed);
+        *self.boxes.lock().entry(box_id).or_insert(0) += 1;
+    }
+
+    /// Total conflicts charged.
+    pub fn total(&self) -> u64 {
+        self.boxes.lock().values().sum()
+    }
+
+    /// The `limit` hottest boxes as `(box_id, conflicts)`, sorted by
+    /// count descending, box id ascending on ties (deterministic).
+    pub fn hotspots(&self, limit: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.boxes.lock().iter().map(|(&k, &v)| (k, v)).collect();
+        all.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        all.truncate(limit);
+        all
+    }
+
+    /// Per-stripe conflict counts (index = stripe).
+    pub fn stripe_counts(&self) -> Vec<u64> {
+        self.stripes
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// JSON report: totals, hotspot list and the non-zero stripes.
+    pub fn to_json(&self, hotspot_limit: usize) -> Json {
+        let hotspots: Vec<Json> = self
+            .hotspots(hotspot_limit)
+            .into_iter()
+            .map(|(id, n)| Json::obj(vec![("box", id.into()), ("conflicts", n.into())]))
+            .collect();
+        let stripes: Vec<Json> = self
+            .stripe_counts()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, n)| *n > 0)
+            .map(|(i, n)| Json::arr(vec![i.into(), n.into()]))
+            .collect();
+        Json::obj(vec![
+            ("total", self.total().into()),
+            ("hotspots", Json::Arr(hotspots)),
+            ("stripes", Json::Arr(stripes)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspots_sorted_deterministically() {
+        let m = ConflictMap::new();
+        for _ in 0..3 {
+            m.charge(7);
+        }
+        for _ in 0..3 {
+            m.charge(2);
+        }
+        m.charge(100);
+        assert_eq!(m.total(), 7);
+        // Ties broken by ascending box id.
+        assert_eq!(m.hotspots(10), vec![(2, 3), (7, 3), (100, 1)]);
+        assert_eq!(m.hotspots(1), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn stripe_counters_fold_by_mask() {
+        let m = ConflictMap::new();
+        m.charge(1);
+        m.charge(65); // 65 & 63 == 1 → same stripe
+        let stripes = m.stripe_counts();
+        assert_eq!(stripes[1], 2);
+        assert_eq!(stripes.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn json_shape() {
+        let m = ConflictMap::new();
+        m.charge(3);
+        let j = m.to_json(8);
+        assert_eq!(j.get("total"), Some(&Json::U64(1)));
+        let s = j.to_string();
+        assert_eq!(Json::parse(&s).unwrap(), j);
+    }
+}

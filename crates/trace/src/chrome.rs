@@ -1,0 +1,76 @@
+//! Chrome trace-event exporter (the JSON array format Perfetto loads).
+//!
+//! Span kinds become complete events (`"ph":"X"`, microsecond `ts` +
+//! `dur`); everything else becomes an instant (`"ph":"i"`). We map the
+//! runtime's clock units straight onto the format's microseconds — under
+//! the virtual clock that makes one work unit render as 1 µs, which is
+//! exactly the scale the figures reason in. All events share `pid` 1;
+//! `tid` is the recording lane's index, so Perfetto shows one row per
+//! worker/client thread.
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+
+/// Renders `(lane_index, events)` groups as a Chrome trace JSON array.
+pub fn chrome_trace(lanes: &[(usize, Vec<TraceEvent>)]) -> Json {
+    let mut out = Vec::new();
+    for (tid, events) in lanes {
+        for ev in events {
+            let (a_name, b_name) = ev.kind.arg_names();
+            let mut fields = vec![
+                ("name", ev.kind.name().into()),
+                ("ph", if ev.kind.is_span() { "X" } else { "i" }.into()),
+                ("ts", ev.ts.into()),
+            ];
+            let args = if ev.kind.is_span() {
+                // For spans `a` is the duration; surface only `b` as an arg.
+                fields.push(("dur", ev.a.into()));
+                vec![(b_name, Json::U64(ev.b))]
+            } else {
+                fields.push(("s", "t".into()));
+                vec![(a_name, Json::U64(ev.a)), (b_name, Json::U64(ev.b))]
+            };
+            fields.push(("pid", 1u64.into()));
+            fields.push(("tid", (*tid as u64).into()));
+            fields.push(("args", Json::obj(args)));
+            out.push(Json::obj(fields));
+        }
+    }
+    Json::Arr(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn spans_and_instants_render() {
+        let lanes = vec![(
+            0usize,
+            vec![
+                TraceEvent {
+                    ts: 5,
+                    kind: EventKind::TopCommit,
+                    a: 1,
+                    b: 9,
+                },
+                TraceEvent {
+                    ts: 10,
+                    kind: EventKind::StmCommitSpan,
+                    a: 4,
+                    b: 9,
+                },
+            ],
+        )];
+        let j = chrome_trace(&lanes);
+        let arr = j.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("ph"), Some(&Json::Str("i".into())));
+        assert_eq!(arr[1].get("ph"), Some(&Json::Str("X".into())));
+        assert_eq!(arr[1].get("dur"), Some(&Json::U64(4)));
+        // Whole export round-trips through the parser.
+        let s = j.to_string();
+        assert_eq!(Json::parse(&s).unwrap(), j);
+    }
+}

@@ -3,13 +3,14 @@
 use std::sync::Arc;
 use wtf_core::{CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
 use wtf_mvstm::StmStatsSnapshot;
+use wtf_trace::{Json, TraceLevel, TraceSummary, Tracer};
 use wtf_vclock::Clock;
 
 /// Per-client workload body: `(client_index, tm)`.
 pub type ClientFn = Arc<dyn Fn(usize, &FutureTm) + Send + Sync>;
 
 /// Outcome of one measured run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Virtual makespan of the whole run (units ≈ ns on the paper's Xeon).
     pub makespan: u64,
@@ -17,6 +18,8 @@ pub struct RunResult {
     pub completed: u64,
     pub tm: TmStatsSnapshot,
     pub stm: StmStatsSnapshot,
+    /// Tracing summary for the run (all-zero when tracing was off).
+    pub trace: TraceSummary,
 }
 
 impl RunResult {
@@ -48,6 +51,30 @@ impl RunResult {
     pub fn internal_abort_rate(&self) -> f64 {
         self.tm.internal_abort_rate()
     }
+
+    /// Machine-readable dump of everything this run measured. Key order is
+    /// fixed and all integers stay `u64`, so the rendering is deterministic
+    /// under the virtual clock (the figure binaries diff these files).
+    pub fn to_json(&self) -> Json {
+        let counters = |fields: Vec<(&'static str, u64)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::U64(v)))
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("makespan", self.makespan.into()),
+            ("completed", self.completed.into()),
+            ("throughput", Json::F64(self.throughput())),
+            ("top_abort_rate", Json::F64(self.top_abort_rate())),
+            ("internal_abort_rate", Json::F64(self.internal_abort_rate())),
+            ("tm", counters(self.tm.fields())),
+            ("stm", counters(self.stm.fields().to_vec())),
+            ("trace", self.trace.to_json()),
+        ])
+    }
 }
 
 /// Parameters of a virtual-time run.
@@ -62,6 +89,10 @@ pub struct RunSpec {
     pub clients: usize,
     /// Work units each client contributes (for throughput accounting).
     pub units_per_client: u64,
+    /// Tracing level for this run. [`RunSpec::new`] seeds it from the
+    /// `WTF_TRACE` environment variable, so every figure binary honours
+    /// `WTF_TRACE=1` without plumbing a flag through each workload wrapper.
+    pub trace: TraceLevel,
 }
 
 impl RunSpec {
@@ -73,15 +104,31 @@ impl RunSpec {
             workers,
             clients,
             units_per_client: 1,
+            trace: TraceLevel::from_env(),
         }
+    }
+
+    /// Overrides the tracing level (tests want this independent of env).
+    pub fn with_trace(mut self, level: TraceLevel) -> RunSpec {
+        self.trace = level;
+        self
     }
 }
 
 /// Runs `client` on `spec.clients` virtual threads over a fresh TM under a
 /// fresh deterministic virtual clock, and measures the result.
 pub fn run_virtual(spec: &RunSpec, client: ClientFn) -> RunResult {
+    run_virtual_traced(spec, client).0
+}
+
+/// Like [`run_virtual`], also handing back the [`Tracer`] so callers can
+/// export the raw event rings (e.g. as a Perfetto trace) in addition to
+/// the summary embedded in the [`RunResult`].
+pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<Tracer>) {
     let clock = Clock::virtual_time();
+    let tracer = Tracer::new(spec.trace);
     let spec2 = spec.clone();
+    let t2 = Arc::clone(&tracer);
     let (tm_stats, stm_stats) = clock.enter(move || {
         let tm = FutureTm::builder()
             .config(
@@ -90,7 +137,12 @@ pub fn run_virtual(spec: &RunSpec, client: ClientFn) -> RunResult {
                     .with_memory_bus(spec2.memory_bus),
             )
             .workers(spec2.workers)
+            .tracer(t2)
             .build();
+        // Delta against the post-construction baseline so the measurement
+        // covers exactly the client work, not TM setup.
+        let tm0 = tm.stats();
+        let stm0 = tm.stm().stats();
         let c = Clock::current();
         let handles: Vec<_> = (0..spec2.clients)
             .map(|i| {
@@ -102,17 +154,19 @@ pub fn run_virtual(spec: &RunSpec, client: ClientFn) -> RunResult {
         for h in handles {
             h.join();
         }
-        let tm_stats = tm.stats();
-        let stm_stats = tm.stm().stats();
+        let tm_stats = tm.stats().delta_since(&tm0);
+        let stm_stats = tm.stm().stats().delta_since(&stm0);
         tm.shutdown();
         (tm_stats, stm_stats)
     });
-    RunResult {
+    let result = RunResult {
         makespan: clock.makespan(),
         completed: spec.units_per_client * spec.clients as u64,
         tm: tm_stats,
         stm: stm_stats,
-    }
+        trace: tracer.summary(),
+    };
+    (result, tracer)
 }
 
 /// Deterministic xorshift64* generator for workload decisions. We keep a
@@ -189,6 +243,72 @@ mod tests {
         assert_eq!(res.tm.top_commits, 8);
         assert!(res.makespan > 0);
         assert!(res.throughput() > 0.0);
+    }
+
+    #[test]
+    fn traced_run_captures_summary_and_exports_json() {
+        let spec = RunSpec {
+            units_per_client: 2,
+            ..RunSpec::new(Semantics::WO_GAC, 2, 2)
+        }
+        .with_trace(TraceLevel::Lifecycle);
+        let (res, tracer) = run_virtual_traced(
+            &spec,
+            Arc::new(move |_i, tm| {
+                let b = tm.new_vbox(0u64);
+                for _ in 0..2 {
+                    let b2 = b.clone();
+                    tm.atomic(move |ctx| {
+                        let v = ctx.read(&b2)?;
+                        ctx.write(&b2, v + 1)
+                    })
+                    .unwrap();
+                }
+            }),
+        );
+        assert!(res.trace.enabled());
+        assert!(res.trace.events_recorded > 0);
+        assert_eq!(res.trace.commit_latency.count, res.stm.commits);
+        // The dump is valid JSON and round-trips the headline numbers.
+        let text = res.to_json().to_string();
+        let parsed = Json::parse(&text).expect("RunResult::to_json parses");
+        assert_eq!(parsed.get("makespan"), Some(&Json::U64(res.makespan)));
+        assert_eq!(
+            parsed.get("tm").and_then(|t| t.get("top_commits")),
+            Some(&Json::U64(res.tm.top_commits))
+        );
+        assert_eq!(
+            parsed
+                .get("trace")
+                .and_then(|t| t.get("level"))
+                .and_then(|l| l.as_str()),
+            Some("lifecycle")
+        );
+        // The tracer handle exposes the raw rings for Perfetto export.
+        assert!(tracer.chrome_trace_json().starts_with('['));
+    }
+
+    #[test]
+    fn untraced_run_summary_is_empty() {
+        let spec = RunSpec {
+            units_per_client: 1,
+            ..RunSpec::new(Semantics::WO_GAC, 1, 2)
+        }
+        .with_trace(TraceLevel::Off);
+        let res = run_virtual(
+            &spec,
+            Arc::new(move |_i, tm| {
+                let b = tm.new_vbox(1u64);
+                tm.atomic(move |ctx| {
+                    let v = ctx.read(&b)?;
+                    ctx.write(&b, v + 1)
+                })
+                .unwrap();
+            }),
+        );
+        assert!(!res.trace.enabled());
+        assert_eq!(res.trace.events_recorded, 0);
+        assert_eq!(res.trace.commit_latency.count, 0);
     }
 
     #[test]

@@ -282,6 +282,7 @@ pub fn read_only_nt(cfg: &SyntheticConfig, clients: usize, parallel: bool) -> Ru
         completed: (clients * cfg.txs_per_client * cfg.tasks_per_tx) as u64,
         tm: Default::default(),
         stm: Default::default(),
+        trace: Default::default(),
     }
 }
 

@@ -1,0 +1,94 @@
+//! The two determinism guarantees of the tracing layer:
+//!
+//! 1. Under the virtual clock, tracing output is a pure function of the
+//!    workload — two identical runs produce *byte-identical* Chrome traces
+//!    and metrics dumps.
+//! 2. Tracing is an observer: turning it on (at any level) must not change
+//!    the execution itself, i.e. the `TmStatsSnapshot` of a multi-threaded
+//!    run is the same with tracing off, lifecycle, or full.
+
+use std::sync::Arc;
+use wtf_core::{Semantics, TxFuture, VBox};
+use wtf_trace::TraceLevel;
+use wtf_workloads::harness::{run_virtual, run_virtual_traced, RunSpec};
+use wtf_workloads::ClientFn;
+
+/// A fig3-style straggler pipeline with cross-client conflicts: each
+/// client runs transactions parallelized over 3 futures (one straggler),
+/// evaluated out of order, all bumping one shared hot counter.
+fn straggler_client() -> ClientFn {
+    let shared: Arc<parking_lot::Mutex<Option<VBox<u64>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    Arc::new(move |_i, tm| {
+        let hot = {
+            let mut g = shared.lock();
+            g.get_or_insert_with(|| tm.new_vbox(0u64)).clone()
+        };
+        for _ in 0..2 {
+            let hot2 = hot.clone();
+            tm.atomic(move |ctx| {
+                let mut in_flight: Vec<TxFuture<u64>> = Vec::new();
+                for t in 0..3u64 {
+                    let work = if t == 0 { 5_000 } else { 500 };
+                    in_flight.push(ctx.submit(move |c| {
+                        c.work(work);
+                        Ok(work)
+                    })?);
+                }
+                let mut acc = 0;
+                while !in_flight.is_empty() {
+                    let (slot, v) = ctx.evaluate_any(&in_flight)?;
+                    in_flight.remove(slot);
+                    acc += v;
+                }
+                let cur = ctx.read(&hot2)?;
+                ctx.write(&hot2, cur + acc)
+            })
+            .unwrap();
+        }
+    })
+}
+
+fn spec(trace: TraceLevel) -> RunSpec {
+    RunSpec {
+        units_per_client: 2,
+        ..RunSpec::new(Semantics::WO_GAC, 3, 4)
+    }
+    .with_trace(trace)
+}
+
+#[test]
+fn traced_runs_are_byte_identical_under_virtual_clock() {
+    let (res_a, tracer_a) = run_virtual_traced(&spec(TraceLevel::Full), straggler_client());
+    let (res_b, tracer_b) = run_virtual_traced(&spec(TraceLevel::Full), straggler_client());
+    assert!(res_a.trace.events_recorded > 0, "workload produced events");
+    assert_eq!(
+        tracer_a.chrome_trace_json(),
+        tracer_b.chrome_trace_json(),
+        "event streams must be byte-identical across identical virtual runs"
+    );
+    assert_eq!(
+        res_a.to_json().to_string(),
+        res_b.to_json().to_string(),
+        "metrics dumps must be byte-identical across identical virtual runs"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_execution() {
+    let off = run_virtual(&spec(TraceLevel::Off), straggler_client());
+    let lifecycle = run_virtual(&spec(TraceLevel::Lifecycle), straggler_client());
+    let full = run_virtual(&spec(TraceLevel::Full), straggler_client());
+    assert_eq!(
+        off.tm, lifecycle.tm,
+        "lifecycle tracing changed the TM outcome"
+    );
+    assert_eq!(off.tm, full.tm, "full tracing changed the TM outcome");
+    assert_eq!(off.stm, lifecycle.stm);
+    assert_eq!(off.stm, full.stm);
+    assert_eq!(off.makespan, lifecycle.makespan);
+    assert_eq!(off.makespan, full.makespan);
+    // And the levels really differed: full records per-read STM events.
+    assert_eq!(off.trace.events_recorded, 0);
+    assert!(full.trace.events_recorded > lifecycle.trace.events_recorded);
+}

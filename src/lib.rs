@@ -15,6 +15,9 @@
 //!   histories, polygraphs, acceptance checking;
 //! * [`clock`] (`wtf-vclock`) — deterministic virtual-time execution;
 //! * [`pool`] (`wtf-taskpool`) — the clock-aware worker pool;
+//! * [`trace`] (`wtf-trace`) — observability: lock-free event tracing,
+//!   latency histograms, abort attribution, JSON/Perfetto exporters
+//!   (enable with `WTF_TRACE=1`);
 //! * [`workloads`] (`wtf-workloads`) — the paper's evaluation workloads.
 //!
 //! ## Quickstart
@@ -76,6 +79,12 @@ pub mod clock {
 /// Clock-aware task pool (re-export of `wtf-taskpool`).
 pub mod pool {
     pub use wtf_taskpool::*;
+}
+
+/// Observability: event tracing, histograms, abort attribution
+/// (re-export of `wtf-trace`).
+pub mod trace {
+    pub use wtf_trace::*;
 }
 
 /// The paper's evaluation workloads (re-export of `wtf-workloads`).
