@@ -50,6 +50,22 @@ fn bench_trace_overhead(c: &mut Criterion) {
         b.iter(|| on.record(black_box(wtf_trace::EventKind::TopCommit), 1, 2))
     });
 
+    // The wtf-inspect sampling hook with everything off — the acceptance
+    // bar for the gauge layer is that this sits within the noise floor of
+    // `hook_disabled_record` (one relaxed level load and out).
+    g.bench_function("hook_disabled_gauge_sample", |b| {
+        b.iter(|| black_box(&off).maybe_sample_gauges())
+    });
+    // And enabled-but-not-due: the steady-state cost on commit paths when
+    // gauges are registered and the period has not elapsed.
+    let gauged = Tracer::new(TraceLevel::Lifecycle);
+    gauged.gauges.set_period(1 << 40); // effectively never due
+    let c1 = gauged.gauges.counter("bench_counter");
+    c1.set(7);
+    g.bench_function("hook_enabled_gauge_not_due", |b| {
+        b.iter(|| black_box(&gauged).maybe_sample_gauges())
+    });
+
     g.finish();
 }
 

@@ -9,7 +9,7 @@
 //! stream around it.
 
 use std::sync::Arc;
-use wtf_bench::{emit_report, f3, print_scaling_note, table_header, table_row, FigReport};
+use wtf_bench::{emit_report, f3, table_row, FigReport};
 use wtf_core::{FutureTm, Semantics, TxFuture};
 use wtf_trace::{chrome, Json, Tracer};
 use wtf_vclock::Clock;
@@ -69,6 +69,9 @@ fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tra
         })
         .unwrap();
         let out = log.read_latest();
+        // Final gauge sample: closes every series at end-of-run virtual
+        // time (deterministic, so safe for the byte-stable baselines).
+        tm.tracer().sample_gauges();
         tm.shutdown();
         out
     });
@@ -76,12 +79,12 @@ fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tra
 }
 
 fn main() {
-    print_scaling_note("Fig. 3 (straggler illustration)");
-    table_header(
+    let mut report = FigReport::begin(
+        "fig3_stragglers",
+        "Fig. 3 (straggler illustration)",
         "Fig 3: task completion order and times (task 0 is the 10x straggler)",
         &["mode", "evaluation order (task@time)", "makespan"],
     );
-    let mut report = FigReport::new("fig3_stragglers");
     for (name, mode, sem, in_order) in [
         ("SO (strongly ordered)", "so", Semantics::SO, true),
         ("WO (weakly ordered)", "wo", Semantics::WO_GAC, false),

@@ -12,8 +12,7 @@
 //! and WTF tracks the NT futures closely (the WO bookkeeping is not the
 //! limiter).
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport};
-use wtf_trace::Json;
+use wtf_bench::{f3, table_row, FigReport};
 use wtf_workloads::synthetic::{read_only, read_only_nt, SyntheticConfig};
 
 const CLIENTS: usize = 2;
@@ -34,12 +33,12 @@ fn cfg(total_reads: usize, iter: u64) -> SyntheticConfig {
 }
 
 fn main() {
-    print_scaling_note("Fig. 6 left (read-only speedup of futures)");
-    table_header(
+    let mut report = FigReport::begin(
+        "fig6_left",
+        "Fig. 6 left (read-only speedup of futures)",
         "Fig 6 left: speedup vs 2 non-parallelized NT threads",
         &["tx_length", "iter", "NT-futures", "WTF"],
     );
-    let mut report = FigReport::new("fig6_left");
     let lengths = [10usize, 100, 1_000, 10_000, 100_000];
     let iters = [0u64, 100, 1_000, 10_000, 100_000];
     for &iter in &iters {
@@ -54,15 +53,11 @@ fn main() {
                 &f3(nt.speedup_vs(&baseline)),
                 &f3(wtf.speedup_vs(&baseline)),
             ]);
-            report.row(vec![
-                ("tx_length", len.into()),
-                ("iter", iter.into()),
-                ("nt_speedup", Json::F64(nt.speedup_vs(&baseline))),
-                ("wtf_speedup", Json::F64(wtf.speedup_vs(&baseline))),
-                ("baseline", baseline.to_json()),
-                ("nt", nt.to_json()),
-                ("wtf", wtf.to_json()),
-            ]);
+            report.comparison_row(
+                vec![("tx_length", len.into()), ("iter", iter.into())],
+                ("baseline", &baseline),
+                &[("nt", &nt), ("wtf", &wtf)],
+            );
         }
     }
     report.emit();

@@ -11,9 +11,8 @@
 //! intra-transaction parallelism (2x24) at short lengths — graph
 //! synchronization cost, exactly the paper's observation.
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport};
+use wtf_bench::{f3, table_row, FigReport};
 use wtf_core::Semantics;
-use wtf_trace::Json;
 use wtf_workloads::synthetic::{contended, toplevel_run, SyntheticConfig};
 
 const BUDGET: usize = 48;
@@ -33,12 +32,12 @@ fn cfg(reads_per_task: usize, tasks_per_tx: usize, txs_per_client: usize) -> Syn
 }
 
 fn main() {
-    print_scaling_note("Fig. 6 right (WTF vs JTF overhead, 48-thread splits)");
-    table_header(
+    let mut report = FigReport::begin(
+        "fig6_right",
+        "Fig. 6 right (WTF vs JTF overhead, 48-thread splits)",
         "Fig 6 right: speedup vs 48 top-level (JVSTM)",
         &["split(tops x futures)", "reads_per_future", "WTF", "JTF"],
     );
-    let mut report = FigReport::new("fig6_right");
     let splits = [(24, 2), (12, 4), (6, 8), (4, 12), (2, 24)];
     let lengths = [10usize, 100, 500, 2_000];
     for &len in &lengths {
@@ -58,16 +57,15 @@ fn main() {
                 &f3(wtf.speedup_vs(&baseline)),
                 &f3(jtf.speedup_vs(&baseline)),
             ]);
-            report.row(vec![
-                ("tops", tops.into()),
-                ("futures", futures.into()),
-                ("reads_per_future", len.into()),
-                ("wtf_speedup", Json::F64(wtf.speedup_vs(&baseline))),
-                ("jtf_speedup", Json::F64(jtf.speedup_vs(&baseline))),
-                ("baseline", baseline.to_json()),
-                ("wtf", wtf.to_json()),
-                ("jtf", jtf.to_json()),
-            ]);
+            report.comparison_row(
+                vec![
+                    ("tops", tops.into()),
+                    ("futures", futures.into()),
+                    ("reads_per_future", len.into()),
+                ],
+                ("baseline", &baseline),
+                &[("wtf", &wtf), ("jtf", &jtf)],
+            );
         }
     }
     report.emit();

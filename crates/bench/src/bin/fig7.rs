@@ -14,9 +14,8 @@
 //! degrades as contention grows (internal aborts); JVSTM is worst (whole
 //! long transactions abort).
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport, PAPER_THREADS};
+use wtf_bench::{f3, table_row, FigReport, PAPER_THREADS};
 use wtf_core::Semantics;
-use wtf_trace::Json;
 use wtf_workloads::synthetic::{
     conflict_prone, conflict_prone_sequential, conflict_prone_toplevel, ConflictConfig,
 };
@@ -38,8 +37,9 @@ fn cfg(hot_spots: usize, futures_per_tx: usize, txs_per_client: usize) -> Confli
 }
 
 fn main() {
-    print_scaling_note("Fig. 7 (future-vs-continuation conflicts)");
-    table_header(
+    let mut report = FigReport::begin(
+        "fig7",
+        "Fig. 7 (future-vs-continuation conflicts)",
         "Fig 7a+7b: speedup vs sequential / abort rates",
         &[
             "contention",
@@ -53,7 +53,6 @@ fn main() {
             "WTF_internal_abort_rate",
         ],
     );
-    let mut report = FigReport::new("fig7");
     for (label, hot_spots) in [("high", 100usize), ("medium", 1_000), ("low", 50_000)] {
         // Sequential denominator: all tasks inline in one thread.
         let seq = conflict_prone_sequential(&cfg(hot_spots, 8, TOTAL_TASKS / 8));
@@ -78,18 +77,15 @@ fn main() {
                 &f3(jtf.internal_abort_rate()),
                 &f3(wtf.internal_abort_rate()),
             ]);
-            report.row(vec![
-                ("contention", label.into()),
-                ("hot_spots", hot_spots.into()),
-                ("threads", threads.into()),
-                ("wtf_speedup", Json::F64(wtf.speedup_vs(&seq))),
-                ("jtf_speedup", Json::F64(jtf.speedup_vs(&seq))),
-                ("jvstm_speedup", Json::F64(jvstm.speedup_vs(&seq))),
-                ("sequential", seq.to_json()),
-                ("wtf", wtf.to_json()),
-                ("jtf", jtf.to_json()),
-                ("jvstm", jvstm.to_json()),
-            ]);
+            report.comparison_row(
+                vec![
+                    ("contention", label.into()),
+                    ("hot_spots", hot_spots.into()),
+                    ("threads", threads.into()),
+                ],
+                ("sequential", &seq),
+                &[("wtf", &wtf), ("jtf", &jtf), ("jvstm", &jvstm)],
+            );
         }
     }
     report.emit();

@@ -7,9 +7,8 @@
 //! scans straggle the short `transfer`s, which is where out-of-order
 //! evaluation pays (the paper: >2x in the 50%/90% mixes).
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport, PAPER_THREADS};
+use wtf_bench::{f3, table_row, FigReport, PAPER_THREADS};
 use wtf_core::Semantics;
-use wtf_trace::Json;
 use wtf_workloads::bank::{futures_replay, sequential_replay, BankConfig, EvalPolicy};
 
 fn cfg(update_percent: u64, concurrent_futures: usize) -> BankConfig {
@@ -27,8 +26,9 @@ fn cfg(update_percent: u64, concurrent_futures: usize) -> BankConfig {
 }
 
 fn main() {
-    print_scaling_note("Fig. 8 (Bank log replay)");
-    table_header(
+    let mut report = FigReport::begin(
+        "fig8",
+        "Fig. 8 (Bank log replay)",
         "Fig 8: speedup vs sequential (top) and internal abort rate (bottom)",
         &[
             "update%",
@@ -41,7 +41,6 @@ fn main() {
             "abort_JTF",
         ],
     );
-    let mut report = FigReport::new("fig8");
     for update in [10u64, 50, 90] {
         let seq = sequential_replay(&cfg(update, 1));
         for &threads in &PAPER_THREADS {
@@ -59,17 +58,14 @@ fn main() {
                 &f3(ino.internal_abort_rate()),
                 &f3(jtf.internal_abort_rate()),
             ]);
-            report.row(vec![
-                ("update_percent", update.into()),
-                ("threads", threads.into()),
-                ("wtf_ooo_speedup", Json::F64(ooo.speedup_vs(&seq))),
-                ("wtf_ino_speedup", Json::F64(ino.speedup_vs(&seq))),
-                ("jtf_speedup", Json::F64(jtf.speedup_vs(&seq))),
-                ("sequential", seq.to_json()),
-                ("wtf_ooo", ooo.to_json()),
-                ("wtf_ino", ino.to_json()),
-                ("jtf", jtf.to_json()),
-            ]);
+            report.comparison_row(
+                vec![
+                    ("update_percent", update.into()),
+                    ("threads", threads.into()),
+                ],
+                ("sequential", &seq),
+                &[("wtf_ooo", &ooo), ("wtf_ino", &ino), ("jtf", &jtf)],
+            );
         }
     }
     report.emit();

@@ -11,9 +11,8 @@
 //! JTF second (futures shorten transactions but commit in spawn order),
 //! JVSTM worst and abort-prone at high parallelism.
 
-use wtf_bench::{f3, print_scaling_note, table_header, table_row, FigReport};
+use wtf_bench::{f3, table_row, FigReport};
 use wtf_core::Semantics;
-use wtf_trace::Json;
 use wtf_workloads::vacation::{
     vacation_futures, vacation_sequential, vacation_toplevel, VacationConfig,
 };
@@ -37,8 +36,9 @@ fn cfg(futures_per_tx: usize, txs_per_client: usize) -> VacationConfig {
 const TOTAL_TXS: usize = 28;
 
 fn main() {
-    print_scaling_note("Fig. 9 (Vacation / STAMP)");
-    table_header(
+    let mut report = FigReport::begin(
+        "fig9",
+        "Fig. 9 (Vacation / STAMP)",
         "Fig 9: speedup vs 1 sequential top-level + top-level abort rate",
         &[
             "system",
@@ -49,7 +49,6 @@ fn main() {
             "top_abort_rate",
         ],
     );
-    let mut report = FigReport::new("fig9");
     let seq = vacation_sequential(&cfg(1, TOTAL_TXS));
     // JVSTM: budget used entirely as top-level clients.
     for threads in [1usize, 2, 7, 14, 28, 56] {
@@ -63,13 +62,12 @@ fn main() {
             &f3(r.speedup_vs(&seq)),
             &f3(r.top_abort_rate()),
         ]);
-        report.row(vec![
-            ("system", "jvstm".into()),
-            ("tops", threads.into()),
-            ("futures", 1usize.into()),
-            ("speedup", Json::F64(r.speedup_vs(&seq))),
-            ("result", r.to_json()),
-        ]);
+        report.system_row(
+            "jvstm",
+            vec![("tops", threads.into()), ("futures", 1usize.into())],
+            r.speedup_vs(&seq),
+            &r,
+        );
     }
     // WTF / JTF: 1, 2 and 7 top-level clients, rest of the budget as futures.
     for tops in [1usize, 2, 7] {
@@ -95,22 +93,20 @@ fn main() {
                 &f3(jtf.top_abort_rate()),
             ]);
             for (system, r) in [("wtf", &wtf), ("jtf", &jtf)] {
-                report.row(vec![
-                    ("system", system.into()),
-                    ("tops", tops.into()),
-                    ("futures", futures.into()),
-                    ("speedup", Json::F64(r.speedup_vs(&seq))),
-                    ("result", r.to_json()),
-                ]);
+                report.system_row(
+                    system,
+                    vec![("tops", tops.into()), ("futures", futures.into())],
+                    r.speedup_vs(&seq),
+                    r,
+                );
             }
         }
     }
-    report.row(vec![
-        ("system", "sequential".into()),
-        ("tops", 1usize.into()),
-        ("futures", 1usize.into()),
-        ("speedup", Json::F64(1.0)),
-        ("result", seq.to_json()),
-    ]);
+    report.system_row(
+        "sequential",
+        vec![("tops", 1usize.into()), ("futures", 1usize.into())],
+        1.0,
+        &seq,
+    );
     report.emit();
 }

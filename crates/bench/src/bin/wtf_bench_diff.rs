@@ -1,0 +1,136 @@
+//! `wtf-bench-diff` — the perf-regression gate over `results/*.json`.
+//!
+//! ```text
+//! wtf-bench-diff [--check] [--baseline DIR] [--fresh DIR] [FIGURE...]
+//! ```
+//!
+//! Compares freshly generated figure reports (`--fresh`, default the
+//! figure binaries' output directory: `WTF_RESULTS_DIR` or `results/`)
+//! against checked-in baselines (`--baseline`, default `results/`).
+//! With no FIGURE arguments, every `fig*.json` baseline (minus the
+//! `fig3_trace_*` event exports) is compared.
+//!
+//! Exit status: `0` all gated metrics within tolerance; `1` regression
+//! or structural mismatch (and, under `--check`, a missing fresh file
+//! or an empty comparison set); `2` usage/IO error.
+//!
+//! Without `--check`, figures missing a fresh file are skipped with a
+//! note — convenient for local runs that only regenerated one figure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wtf_bench::diff::{diff_files, discover_figures};
+use wtf_bench::results_dir;
+
+struct Options {
+    check: bool,
+    baseline: PathBuf,
+    fresh: PathBuf,
+    figures: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        baseline: PathBuf::from("results"),
+        fresh: results_dir(),
+        figures: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--baseline" => {
+                opts.baseline = args.next().ok_or("--baseline needs a directory")?.into();
+            }
+            "--fresh" => {
+                opts.fresh = args.next().ok_or("--fresh needs a directory")?.into();
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wtf-bench-diff [--check] [--baseline DIR] [--fresh DIR] \
+                            [FIGURE...]"
+                        .into(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            figure => opts
+                .figures
+                .push(figure.trim_end_matches(".json").to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let figures = if opts.figures.is_empty() {
+        discover_figures(&opts.baseline)
+    } else {
+        opts.figures.clone()
+    };
+    if figures.is_empty() {
+        eprintln!("no figure baselines found in {}", opts.baseline.display());
+        return ExitCode::from(if opts.check { 1 } else { 2 });
+    }
+
+    let mut failed = false;
+    let mut compared = 0usize;
+    for figure in &figures {
+        let base_path = opts.baseline.join(format!("{figure}.json"));
+        let fresh_path = opts.fresh.join(format!("{figure}.json"));
+        if !fresh_path.exists() {
+            if opts.check {
+                eprintln!("{figure}: FRESH MISSING ({})", fresh_path.display());
+                failed = true;
+            } else {
+                println!(
+                    "{figure}: skipped (no fresh file at {})",
+                    fresh_path.display()
+                );
+            }
+            continue;
+        }
+        match diff_files(&base_path, &fresh_path) {
+            Ok(d) => {
+                compared += 1;
+                if d.ok() {
+                    println!("{figure}: OK ({} gated metrics)", d.compared);
+                } else {
+                    failed = true;
+                    println!(
+                        "{figure}: FAIL ({} regressions, {} structural, {} gated metrics)",
+                        d.regressions.len(),
+                        d.structural.len(),
+                        d.compared
+                    );
+                    for r in &d.regressions {
+                        println!("  regression: {r}");
+                    }
+                    for s in &d.structural {
+                        println!("  structural: {s}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{figure}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.check && compared == 0 {
+        eprintln!("--check: no figures were actually compared");
+        failed = true;
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -18,9 +18,12 @@
 //! costs of the substrate (versioned boxes, graph manipulation, future
 //! lifecycle, FSG solving).
 
+pub mod diff;
+
 use std::fmt::Display;
 use std::path::PathBuf;
 use wtf_trace::Json;
+use wtf_workloads::RunResult;
 
 /// Prints a table header: `# <title>` followed by tab-separated columns.
 pub fn table_header(title: &str, columns: &[&str]) {
@@ -112,9 +115,64 @@ impl FigReport {
         }
     }
 
+    /// The shared preamble of every figure binary: scaling note, table
+    /// header, empty report. Keeps the six `fig*` mains down to their
+    /// actual parameter sweeps.
+    pub fn begin(
+        figure: &'static str,
+        note: &str,
+        table_title: &str,
+        columns: &[&str],
+    ) -> FigReport {
+        print_scaling_note(note);
+        table_header(table_title, columns);
+        FigReport::new(figure)
+    }
+
     /// Adds one row (an insertion-ordered object from `(key, value)` pairs).
     pub fn row(&mut self, fields: Vec<(&str, Json)>) {
         self.rows.push(Json::obj(fields));
+    }
+
+    /// The shared emission shape of Figs. 6–8: parameter columns, one
+    /// `{name}_speedup` per system (each vs `baseline`), then the full
+    /// [`RunResult`] dumps — baseline first, systems in order. Key order
+    /// is part of the baseline format, so keep params/systems ordered.
+    pub fn comparison_row(
+        &mut self,
+        params: Vec<(&str, Json)>,
+        baseline: (&str, &RunResult),
+        systems: &[(&str, &RunResult)],
+    ) {
+        let speedup_keys: Vec<String> = systems
+            .iter()
+            .map(|(name, _)| format!("{name}_speedup"))
+            .collect();
+        let mut fields = params;
+        for (key, &(_, r)) in speedup_keys.iter().zip(systems) {
+            fields.push((key.as_str(), Json::F64(r.speedup_vs(baseline.1))));
+        }
+        fields.push((baseline.0, baseline.1.to_json()));
+        for &(name, r) in systems {
+            fields.push((name, r.to_json()));
+        }
+        self.row(fields);
+    }
+
+    /// Fig. 9-style row: one system, its parameters, a precomputed
+    /// speedup, and the full result dump.
+    pub fn system_row(
+        &mut self,
+        system: &str,
+        params: Vec<(&str, Json)>,
+        speedup: f64,
+        result: &RunResult,
+    ) {
+        let mut fields = vec![("system", Json::from(system))];
+        fields.extend(params);
+        fields.push(("speedup", Json::F64(speedup)));
+        fields.push(("result", result.to_json()));
+        self.row(fields);
     }
 
     /// The assembled report document.

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `wtf-bench-diff` gate binary: feed it a
+//! synthetically regressed report and assert the nonzero exit the CI
+//! gate relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_wtf-bench-diff")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wtf_bench_diff_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_report(dir: &Path, figure: &str, speedup: f64) {
+    let body = format!(
+        r#"{{"figure":"{figure}","clock":"virtual","rows":[{{"threads":4,"wtf_speedup":{speedup},"wtf":{{"makespan":1000,"completed":96,"trace":{{"events_recorded":0}}}}}}]}}"#
+    );
+    std::fs::write(dir.join(format!("{figure}.json")), body).unwrap();
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("run wtf-bench-diff");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn identical_reports_exit_zero() {
+    let base = scratch("id_base");
+    let fresh = scratch("id_fresh");
+    write_report(&base, "fig7", 2.0);
+    write_report(&fresh, "fig7", 2.0);
+    let (code, text) = run(&[
+        "--check",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("fig7: OK"), "{text}");
+}
+
+#[test]
+fn regressed_report_exits_nonzero() {
+    let base = scratch("reg_base");
+    let fresh = scratch("reg_fresh");
+    write_report(&base, "fig7", 2.0);
+    write_report(&fresh, "fig7", 1.2); // -40%: far past the ±15% gate
+    let (code, text) = run(&[
+        "--check",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("fig7: FAIL"), "{text}");
+    assert!(text.contains("wtf_speedup"), "{text}");
+}
+
+#[test]
+fn check_fails_when_fresh_missing() {
+    let base = scratch("miss_base");
+    let fresh = scratch("miss_fresh");
+    write_report(&base, "fig7", 2.0);
+    // fresh dir exists but has no fig7.json
+    let (code, text) = run(&[
+        "--check",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("FRESH MISSING"), "{text}");
+}
+
+#[test]
+fn without_check_missing_fresh_is_skipped() {
+    let base = scratch("skip_base");
+    let fresh = scratch("skip_fresh");
+    write_report(&base, "fig7", 2.0);
+    let (code, text) = run(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("skipped"), "{text}");
+}
+
+#[test]
+fn trace_exports_are_not_gated() {
+    let base = scratch("tr_base");
+    let fresh = scratch("tr_fresh");
+    write_report(&base, "fig7", 2.0);
+    write_report(&fresh, "fig7", 2.0);
+    // A trace export present only in the baseline dir must be ignored by
+    // discovery, not reported as missing fresh.
+    std::fs::write(base.join("fig3_trace_so.json"), "{}").unwrap();
+    let (code, text) = run(&[
+        "--check",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(!text.contains("fig3_trace"), "{text}");
+}

@@ -53,9 +53,12 @@ mod config;
 mod ctx;
 mod future;
 mod graph;
+pub mod inspect;
 mod node;
 mod stats;
 mod toplevel;
+#[cfg(feature = "watchdog")]
+pub mod watchdog;
 
 pub use config::{AtomicitySemantics, CostModel, OrderingSemantics, Semantics, TmConfig};
 pub use ctx::TxCtx;
@@ -63,6 +66,8 @@ pub use future::{FutState, TxFuture};
 pub use graph::NodeId;
 pub use stats::{TmStats, TmStatsSnapshot};
 pub use toplevel::TopLevel;
+#[cfg(feature = "watchdog")]
+pub use watchdog::{WatchdogConfig, WatchdogHandle};
 pub use wtf_mvstm::{Aborted, BoxId, Stm, StmError, TxResult, TxValue, VBox};
 
 use parking_lot::Mutex;
@@ -92,6 +97,15 @@ pub(crate) struct TmInner {
     pub(crate) tracer: Arc<Tracer>,
     top_counter: AtomicU64,
     future_counter: AtomicU64,
+    /// Weak handles to in-flight top-levels (live-graph gauges, watchdog
+    /// snapshots, auto-dumps). Dead entries are pruned opportunistically
+    /// on registration.
+    pub(crate) tops: Mutex<Vec<std::sync::Weak<TopLevel>>>,
+    /// Consecutive cross-top conflict aborts since the last commit
+    /// (abort-storm detection; see `inspect`).
+    pub(crate) conflict_abort_streak: AtomicU64,
+    /// Remaining automatic graph dumps (rate limit; see `inspect`).
+    pub(crate) dumps_remaining: AtomicU64,
 }
 
 impl TmInner {
@@ -109,6 +123,26 @@ impl TmInner {
 
     pub(crate) fn next_future_id(&self) -> u64 {
         self.future_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Tracks `top` while it is in flight. The list holds `Weak`s so a
+    /// finished top-level (whose `Arc` the caller drops) costs nothing
+    /// beyond its slot until the next prune.
+    pub(crate) fn register_top(&self, top: &Arc<TopLevel>) {
+        let mut tops = self.tops.lock();
+        if tops.len() >= 32 && tops.len().is_multiple_of(32) {
+            tops.retain(|w| w.strong_count() > 0);
+        }
+        tops.push(Arc::downgrade(top));
+    }
+
+    /// Upgrades every still-live tracked top-level.
+    pub(crate) fn live_tops(&self) -> Vec<Arc<TopLevel>> {
+        self.tops
+            .lock()
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .collect()
     }
 }
 
@@ -193,7 +227,7 @@ impl FutureTmBuilder {
         } else {
             None
         };
-        FutureTm {
+        let tm = FutureTm {
             inner: Arc::new(TmInner {
                 stm: self
                     .stm
@@ -206,8 +240,25 @@ impl FutureTmBuilder {
                 tracer,
                 top_counter: AtomicU64::new(0),
                 future_counter: AtomicU64::new(0),
+                tops: Mutex::new(Vec::new()),
+                conflict_abort_streak: AtomicU64::new(0),
+                dumps_remaining: AtomicU64::new(inspect::dump_limit_from_env()),
             }),
+        };
+        if tm.inner.tracer.on() {
+            // Live TM gauges. `Weak`: the tracer lives inside `TmInner`.
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner.tracer.gauges.register("tm_live_tops", move || {
+                w.upgrade().map_or(0, |tm| tm.live_tops().len() as u64)
+            });
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner.tracer.gauges.register("tm_live_nodes", move || {
+                w.upgrade().map_or(0, |tm| {
+                    tm.live_tops().iter().map(|t| t.node_count() as u64).sum()
+                })
+            });
         }
+        tm
     }
 }
 

@@ -795,3 +795,211 @@ fn many_futures_fanout() {
     assert_eq!(sum, (0..32).sum::<i64>());
     assert_eq!(stats.futures_submitted, 32);
 }
+
+// ---------------- wtf-inspect: exporters + watchdog ----------------
+
+/// Graph exporters: mid-flight DOT and JSON renderings of a top-level
+/// with a submitted future reflect node kinds, statuses and edges.
+#[test]
+fn graph_exporters_render_live_top() {
+    let ((dot, json), _, _) = with_vtm(Semantics::WO_GAC, 2, |tm| {
+        tm.atomic(|ctx| {
+            let f = ctx.submit(|_| Ok(7u64))?;
+            let top = tm.inner.live_tops().pop().expect("one live top");
+            let dot = top.graph_dot();
+            let json = top.graph_json();
+            ctx.evaluate(&f)?;
+            Ok((dot, json))
+        })
+        .unwrap()
+    });
+    assert!(dot.starts_with("digraph top0"), "{dot}");
+    // Submit creates the future node n1 and the continuation node n2,
+    // both children of the iCommitted root.
+    assert!(dot.contains("n1 future"), "{dot}");
+    assert!(dot.contains("n2 cont"), "{dot}");
+    assert!(dot.contains("n0 root icommitted"), "{dot}");
+    assert!(dot.contains("n0 -> n1;"), "{dot}");
+    assert!(dot.contains("n0 -> n2;"), "{dot}");
+    let parsed = wtf_trace::Json::parse(&json.to_string()).unwrap();
+    assert_eq!(parsed.get("top"), Some(&wtf_trace::Json::U64(0)));
+    assert_eq!(parsed.get("nodes").unwrap().as_arr().unwrap().len(), 3);
+    assert_eq!(parsed.get("edges").unwrap().as_arr().unwrap().len(), 2);
+    // iCommit order: root (rank 0) before its children.
+    let order = parsed.get("icommit_order").unwrap().as_arr().unwrap();
+    assert_eq!(order[0], wtf_trace::Json::U64(0));
+}
+
+/// `auto_dump` writes `{reason}_top{id}.dot` + `.json` into the snapshot
+/// dir and respects the per-TM dump budget.
+#[test]
+fn auto_dump_writes_snapshots_and_respects_budget() {
+    use std::sync::atomic::Ordering;
+    let dir = std::env::temp_dir().join(format!("wtf_inspect_dump_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("WTF_SNAPSHOT_DIR", &dir);
+    let tm = FutureTm::new(Semantics::WO_GAC);
+    let top = crate::TopLevel::begin(&tm.inner);
+    crate::inspect::auto_dump(&tm.inner, &top, "doom");
+    let dot = std::fs::read_to_string(dir.join("doom_top0.dot")).unwrap();
+    assert!(dot.contains("digraph top0"));
+    assert!(std::fs::metadata(dir.join("doom_top0.json")).is_ok());
+    // Exhaust the budget: no further files appear.
+    tm.inner.dumps_remaining.store(0, Ordering::Relaxed);
+    crate::inspect::auto_dump(&tm.inner, &top, "storm");
+    assert!(std::fs::metadata(dir.join("storm_top0.dot")).is_err());
+    std::env::remove_var("WTF_SNAPSHOT_DIR");
+    drop(top);
+    tm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Live TM gauges (in-flight tops, nodes) report through the tracer.
+#[test]
+fn tm_gauges_track_live_tops_and_nodes() {
+    use wtf_trace::{TraceLevel, Tracer};
+    let tracer = Tracer::new(TraceLevel::Lifecycle);
+    let clock = Clock::virtual_time();
+    let t2 = tracer.clone();
+    clock.enter(move || {
+        let tm = FutureTm::builder()
+            .semantics(Semantics::WO_GAC)
+            .workers(2)
+            .tracer(t2.clone())
+            .build();
+        let gauge = |name: &str| {
+            t2.gauges
+                .read_all()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(gauge("tm_live_tops"), 0);
+        tm.atomic(|ctx| {
+            let f = ctx.submit(|_| Ok(1u64))?;
+            assert_eq!(gauge("tm_live_tops"), 1);
+            // Root + future node + continuation node.
+            assert_eq!(gauge("tm_live_nodes"), 3);
+            ctx.evaluate(&f)
+        })
+        .unwrap();
+        assert_eq!(gauge("tm_live_tops"), 0, "finished top is dropped");
+        tm.shutdown();
+    });
+}
+
+/// Acceptance: a stalled top-level trips the watchdog within its window,
+/// and the dumped DOT snapshot contains the straggler's future node.
+#[cfg(feature = "watchdog")]
+#[test]
+fn watchdog_fires_on_stall_and_dumps_straggler() {
+    use crate::watchdog::WatchdogConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+    let dir = std::env::temp_dir().join(format!("wtf_watchdog_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Clock::real_nospin();
+    let dir2 = dir.clone();
+    clock.enter(move || {
+        let tm = FutureTm::new(Semantics::WO_GAC);
+        let wd = tm.start_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(5),
+            window: Duration::from_millis(30),
+            abort_straggler: false,
+            snapshot_dir: Some(dir2.clone()),
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        let out = tm
+            .atomic(|ctx| {
+                let g = gate.clone();
+                let f = ctx.submit(move |_| {
+                    while !g.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Ok(11u64)
+                })?;
+                // Straggle: hold the top open until the watchdog fires.
+                let deadline = Instant::now() + Duration::from_secs(30);
+                while wd.times_fired() == 0 {
+                    assert!(Instant::now() < deadline, "watchdog never fired");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                gate.store(true, Ordering::Release);
+                ctx.evaluate(&f)
+            })
+            .unwrap();
+        assert_eq!(out, 11);
+        wd.stop();
+        tm.shutdown();
+    });
+    let dot = std::fs::read_to_string(dir.join("watchdog_top0.dot"))
+        .expect("watchdog dumped the live graph");
+    assert!(dot.contains("digraph top0"), "{dot}");
+    assert!(dot.contains("n1 future"), "straggler node present: {dot}");
+    let report = std::fs::read_to_string(dir.join("watchdog_report.json")).unwrap();
+    let parsed = wtf_trace::Json::parse(&report).unwrap();
+    assert_eq!(parsed.get("straggler"), Some(&wtf_trace::Json::U64(0)));
+    assert!(!parsed
+        .get("live_tops")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The watchdog is quiet while commits make progress, and the
+/// abort-straggler knob dooms (and thereby unwedges) a stalled top
+/// under a real clock.
+#[cfg(feature = "watchdog")]
+#[test]
+fn watchdog_quiet_under_progress_and_aborts_straggler() {
+    use crate::watchdog::WatchdogConfig;
+    use std::time::Duration;
+    let dir = std::env::temp_dir().join(format!("wtf_watchdog_quiet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Clock::real_nospin();
+    let dir2 = dir.clone();
+    clock.enter(move || {
+        let tm = FutureTm::new(Semantics::WO_GAC);
+        let b = tm.new_vbox(0u64);
+        let wd = tm.start_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(5),
+            window: Duration::from_millis(40),
+            abort_straggler: true,
+            snapshot_dir: Some(dir2.clone()),
+        });
+        // Steady commits: the watchdog must stay quiet.
+        for _ in 0..20 {
+            tm.atomic(|ctx| {
+                let v = ctx.read(&b)?;
+                ctx.write(&b, v + 1)
+            })
+            .unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(wd.times_fired(), 0, "no stall under steady commits");
+        // Now stall: a top-level that spins until it is doomed from
+        // outside. The watchdog's abort_straggler unwedges it.
+        let mut attempts = 0u32;
+        tm.atomic(|ctx| {
+            attempts += 1;
+            if attempts == 1 {
+                let top = tm.inner.live_tops().pop().unwrap();
+                while !top.is_doomed() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Doomed by the watchdog: force the restart path.
+                return Err(crate::StmError::Conflict);
+            }
+            ctx.write(&b, 99)
+        })
+        .unwrap();
+        assert!(wd.times_fired() >= 1);
+        assert!(attempts >= 2, "straggler was aborted and retried");
+        wd.stop();
+        tm.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

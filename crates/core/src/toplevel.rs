@@ -91,8 +91,10 @@ impl TopLevel {
             committed: Mutex::new(None),
         });
         tm.clock.advance(tm.cfg.costs.begin_cost);
+        tm.register_top(&top);
         tm.tracer
             .record(EventKind::TopBegin, id, top.snapshot.version());
+        tm.tracer.maybe_sample_gauges();
         top
     }
 
@@ -358,6 +360,11 @@ impl TopLevel {
             }
         });
         drop(nodes);
+        if tm.tracer.full() && self.is_doomed() {
+            // An uncontained doom cascades to a whole-top restart: dump
+            // the graph that forced it while the evidence is still live.
+            crate::inspect::auto_dump(tm, self, "doom");
+        }
         // A replay restart may have cancelled us concurrently; never
         // resurrect a cancelled incarnation.
         let transition = |next: FutState| {
@@ -664,6 +671,7 @@ impl TopLevel {
                     // event stream additionally ties the abort to this top.
                     tm.tracer
                         .record(EventKind::TopConflictAbort, self.id, conflict_box.0);
+                    crate::inspect::on_conflict_abort(&tm, self);
                     return Err(CommitFail::CrossTop);
                 }
             }
@@ -683,6 +691,10 @@ impl TopLevel {
         }
         tm.stats.top_commits();
         tm.tracer.record(EventKind::TopCommit, self.id, version);
+        if tm.tracer.full() {
+            tm.conflict_abort_streak.store(0, Ordering::Relaxed);
+        }
+        tm.tracer.maybe_sample_gauges();
         Ok(())
     }
 

@@ -41,6 +41,7 @@
 //! write it observed ([`History::read_observing`]).
 
 mod build;
+mod dot;
 mod graph;
 mod history;
 pub mod paper;

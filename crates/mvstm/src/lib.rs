@@ -101,6 +101,9 @@ pub(crate) struct StmInner {
     pub(crate) next_box: AtomicU64,
     /// When false, version chains grow without bound (ablation knob).
     pub(crate) gc_enabled: AtomicBool,
+    /// Total versions ever installed by commits (gauge bookkeeping; the
+    /// live retained count is `versions_installed - versions_pruned`).
+    pub(crate) versions_installed: AtomicU64,
     /// Observability hooks (`wtf-trace`). Always present — a disabled
     /// tracer costs one relaxed load per hook — so the hot paths carry
     /// no `Option` branch.
@@ -131,7 +134,7 @@ impl Stm {
     /// latency histograms, publish-wait spans, per-box abort attribution
     /// and (at `Full` level) per-install events.
     pub fn with_tracer(tracer: Arc<Tracer>) -> Stm {
-        Stm {
+        let stm = Stm {
             inner: Arc::new(StmInner {
                 clock: AtomicU64::new(0),
                 next_version: AtomicU64::new(0),
@@ -140,9 +143,67 @@ impl Stm {
                 stats: StmStats::new(),
                 next_box: AtomicU64::new(0),
                 gc_enabled: AtomicBool::new(true),
+                versions_installed: AtomicU64::new(0),
                 tracer,
             }),
+        };
+        if stm.inner.tracer.on() {
+            stm.register_gauges();
         }
+        stm
+    }
+
+    /// Registers the STM's live gauges with the tracer's registry. `Weak`
+    /// captures: the tracer is owned by `StmInner`, so `Arc` captures
+    /// would cycle and leak.
+    fn register_gauges(&self) {
+        let gauges = &self.inner.tracer.gauges;
+        let w = Arc::downgrade(&self.inner);
+        gauges.register("stm_clock", move || {
+            w.upgrade().map_or(0, |s| s.clock.load(Ordering::Acquire))
+        });
+        let w = Arc::downgrade(&self.inner);
+        gauges.register("stm_retained_versions", move || {
+            w.upgrade().map_or(0, |s| {
+                s.versions_installed
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(s.stats.versions_pruned.load(Ordering::Relaxed))
+            })
+        });
+        let w = Arc::downgrade(&self.inner);
+        gauges.register("stm_gc_horizon_lag", move || {
+            w.upgrade().map_or(0, |s| {
+                let clock = s.clock.load(Ordering::Acquire);
+                clock.saturating_sub(s.registry.min_active_excluding(u64::MAX, clock))
+            })
+        });
+        let w = Arc::downgrade(&self.inner);
+        gauges.register("stm_active_snapshots", move || {
+            w.upgrade()
+                .map_or(0, |s| s.registry.active_snapshots() as u64)
+        });
+        let w = Arc::downgrade(&self.inner);
+        gauges.register("stm_registry_occupancy", move || {
+            w.upgrade().map_or(0, |s| s.registry.occupancy() as u64)
+        });
+    }
+
+    /// Committed versions still retained in version chains (installed
+    /// minus pruned; saturating because prunes can free initial versions
+    /// that predate the counter).
+    pub fn retained_versions(&self) -> u64 {
+        self.inner
+            .versions_installed
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.inner.stats.versions_pruned.load(Ordering::Relaxed))
+    }
+
+    /// How far the oldest active snapshot trails the version clock (0
+    /// when no transaction is active): the GC horizon lag that bounds
+    /// how much garbage version chains must retain.
+    pub fn gc_horizon_lag(&self) -> u64 {
+        let clock = self.clock();
+        clock.saturating_sub(self.inner.registry.min_active_excluding(u64::MAX, clock))
     }
 
     /// The tracer this instance reports into (disabled by default).

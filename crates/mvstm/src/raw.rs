@@ -157,6 +157,9 @@ pub fn commit_attributed<'a>(
     let version = inner.next_version.fetch_add(1, Ordering::AcqRel) + 1;
     let gc = inner.gc_enabled.load(Ordering::Relaxed);
     let bodies: Vec<Arc<BoxBody>> = writes.iter().map(|(b, _)| b.clone()).collect();
+    inner
+        .versions_installed
+        .fetch_add(bodies.len() as u64, Ordering::Relaxed);
     for (body, value) in writes {
         body.install(version, value);
         tracer.record_full(wtf_trace::EventKind::StmInstall, body.id.0, version);

@@ -282,6 +282,17 @@ impl ActiveRegistry {
         versions.dedup();
         versions.len()
     }
+
+    /// Total occupied registration slots (shards plus overflow), i.e.
+    /// how full the fixed-size registry is. Counter-based and O(shards),
+    /// unlike the slot scan in [`ActiveRegistry::active_snapshots`].
+    pub(crate) fn occupancy(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.occupancy.load(Ordering::SeqCst))
+            .sum::<usize>()
+            + self.overflow_count.load(Ordering::SeqCst)
+    }
 }
 
 #[cfg(test)]

@@ -565,6 +565,51 @@ fn registry_horizon_never_exceeds_live_snapshot() {
     reg.deregister(pin_token, pin_ver);
     assert_eq!(reg.min_active_excluding(u64::MAX, 12345), 12345);
     assert_eq!(reg.active_snapshots(), 0);
+    assert_eq!(reg.occupancy(), 0);
+}
+
+/// The live gauges registered by a traced STM track retained versions,
+/// GC horizon lag and registry occupancy through a pin-then-release
+/// scenario.
+#[test]
+fn live_gauges_track_versions_and_horizon() {
+    use wtf_trace::{TraceLevel, Tracer};
+    let tracer = Tracer::new(TraceLevel::Lifecycle);
+    let stm = Stm::with_tracer(tracer.clone());
+    let gauge = |name: &str| {
+        tracer
+            .gauges
+            .read_all()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("gauge {name} registered"))
+    };
+    let b = VBox::new(&stm, 0i64);
+    stm.atomic(|tx| tx.write(&b, 1)).unwrap();
+    assert_eq!(gauge("stm_clock"), 1);
+    assert_eq!(gauge("stm_gc_horizon_lag"), 0, "nothing active");
+    assert_eq!(gauge("stm_registry_occupancy"), 0);
+    // Pin the current snapshot, then commit twice more: GC cannot prune
+    // past the pin, so retained versions and horizon lag both grow.
+    let pin = raw::acquire_snapshot(&stm);
+    for i in 2..=3 {
+        stm.atomic(|tx| tx.write(&b, i)).unwrap();
+    }
+    assert_eq!(gauge("stm_clock"), 3);
+    assert_eq!(gauge("stm_gc_horizon_lag"), 3 - pin.version());
+    assert_eq!(gauge("stm_registry_occupancy"), 1);
+    assert_eq!(gauge("stm_active_snapshots"), 1);
+    assert!(
+        gauge("stm_retained_versions") >= 2,
+        "pinned chain retains the pinned version plus the head"
+    );
+    drop(pin);
+    // Releasing the pin lets the next commit's GC collapse the chain.
+    stm.atomic(|tx| tx.write(&b, 4)).unwrap();
+    assert_eq!(gauge("stm_gc_horizon_lag"), 0);
+    assert_eq!(gauge("stm_retained_versions"), stm.retained_versions());
+    assert_eq!(stm.gc_horizon_lag(), 0);
 }
 
 /// End-to-end churn: snapshot register/deregister racing committing

@@ -79,6 +79,19 @@ impl TaskPool {
             busy: AtomicUsize::new(0),
             tracer,
         });
+        if inner.tracer.on() {
+            // Live pool gauges, sampled on demand by the registry. `Weak`
+            // captures: the tracer outlives the pool in some harnesses.
+            let w = Arc::downgrade(&inner);
+            inner.tracer.gauges.register("pool_queue_depth", move || {
+                w.upgrade().map_or(0, |p| p.queue.lock().len() as u64)
+            });
+            let w = Arc::downgrade(&inner);
+            inner.tracer.gauges.register("pool_busy_workers", move || {
+                w.upgrade()
+                    .map_or(0, |p| p.busy.load(Ordering::Relaxed) as u64)
+            });
+        }
         let handles = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
@@ -131,6 +144,11 @@ impl TaskPool {
     /// Number of workers currently executing tasks.
     pub fn busy_workers(&self) -> usize {
         self.inner.busy.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().len()
     }
 
     /// Stops accepting tasks, drains the queue, and joins all workers.
@@ -335,6 +353,45 @@ mod tests {
         assert_eq!(busy.len(), 4, "one busy span per task");
         // Span durations are virtual-clock exact: each task advanced 100.
         assert!(busy.iter().all(|e| e.a == 100));
+    }
+
+    #[test]
+    fn queue_depth_and_gauges() {
+        use wtf_trace::TraceLevel;
+        let tracer = Tracer::new(TraceLevel::Lifecycle);
+        let clock = Clock::real_nospin();
+        let t2 = tracer.clone();
+        clock.enter(move || {
+            let pool = TaskPool::with_tracer(&Clock::current(), 1, 0, t2.clone());
+            let gate = Arc::new(AtomicBool::new(false));
+            // Worker 0 blocks on the gate; two more tasks pile up behind it.
+            let g2 = gate.clone();
+            let h = pool.submit(move || {
+                while !g2.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            });
+            while pool.busy_workers() == 0 {
+                std::hint::spin_loop();
+            }
+            pool.execute(|| {});
+            pool.execute(|| {});
+            assert_eq!(pool.queue_depth(), 2);
+            let live = t2.gauges.read_all();
+            assert!(
+                live.contains(&("pool_queue_depth".to_string(), 2)),
+                "{live:?}"
+            );
+            assert!(
+                live.contains(&("pool_busy_workers".to_string(), 1)),
+                "{live:?}"
+            );
+            gate.store(true, Ordering::Release);
+            h.join();
+            pool.shutdown();
+        });
+        // Pool gone: gauges degrade to 0 rather than dangle.
+        assert_eq!(tracer.gauges.read_all()[0].1, 0);
     }
 
     #[test]

@@ -71,10 +71,16 @@ pub enum EventKind {
     /// Span: a pool worker blocked waiting for work. a=duration,
     /// b=worker index.
     WorkerIdleSpan,
+    /// A periodic or on-demand gauge sample was recorded. a=sample
+    /// index in the gauge series, b=number of gauges sampled.
+    GaugeSample,
+    /// The stall watchdog detected a no-commit-progress window.
+    /// a=straggler top_id (or u64::MAX if none live), b=window length.
+    WatchdogStall,
 }
 
 /// All kinds, in discriminant order (export tables, tests).
-pub const ALL_KINDS: [EventKind; 22] = [
+pub const ALL_KINDS: [EventKind; 24] = [
     EventKind::TopBegin,
     EventKind::TopCommit,
     EventKind::TopConflictAbort,
@@ -97,6 +103,8 @@ pub const ALL_KINDS: [EventKind; 22] = [
     EventKind::PublishWaitSpan,
     EventKind::WorkerBusySpan,
     EventKind::WorkerIdleSpan,
+    EventKind::GaugeSample,
+    EventKind::WatchdogStall,
 ];
 
 impl EventKind {
@@ -125,6 +133,8 @@ impl EventKind {
             EventKind::PublishWaitSpan => "publish_wait",
             EventKind::WorkerBusySpan => "worker_busy",
             EventKind::WorkerIdleSpan => "worker_idle",
+            EventKind::GaugeSample => "gauge_sample",
+            EventKind::WatchdogStall => "watchdog_stall",
         }
     }
 
@@ -161,6 +171,8 @@ impl EventKind {
             EventKind::StmCommitSpan | EventKind::PublishWaitSpan => ("dur", "version"),
             EventKind::StmValidationSpan => ("dur", "reads"),
             EventKind::WorkerBusySpan | EventKind::WorkerIdleSpan => ("dur", "worker"),
+            EventKind::GaugeSample => ("sample", "gauges"),
+            EventKind::WatchdogStall => ("top", "window"),
         }
     }
 }

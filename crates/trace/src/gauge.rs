@@ -1,0 +1,332 @@
+//! Live gauge/counter registry: the "what is the runtime doing *right
+//! now*" half of the observability story.
+//!
+//! Events and histograms (PR 2) answer post-hoc questions; gauges answer
+//! live ones — how deep are the version chains, how far behind is the GC
+//! horizon, how many futures are queued, how many top-levels are in
+//! flight. A gauge is either a shared [`Counter`] the runtime bumps
+//! directly (one relaxed atomic op, lock-free) or a *pull* closure
+//! sampled on demand (so a gauge can walk a registry or sum queue
+//! depths without the hot path paying for it).
+//!
+//! Sampling is **hook-driven, never thread-driven**: a background
+//! sampler thread would perturb the virtual-clock schedule and break
+//! byte-determinism, so the runtime calls
+//! [`Tracer::maybe_sample_gauges`](crate::Tracer::maybe_sample_gauges)
+//! from existing hooks (top-level begin/commit) and the registry
+//! rate-limits itself with a CAS on the next-due timestamp. With the
+//! period unset (the default) only explicit
+//! [`Tracer::sample_gauges`](crate::Tracer::sample_gauges) calls record
+//! — e.g. the harness takes one end-of-run sample — keeping baselines
+//! small and untraced runs at a single relaxed load per hook.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A registered push-style gauge: the owner stores samples into it with
+/// plain atomic ops; the registry reads it when sampling.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement (a pruner can observe more frees than the
+    /// installs it saw; never wrap to u64::MAX).
+    #[inline]
+    pub fn sub(&self, v: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(v))
+            });
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A pull-style gauge callback. Captures `Weak` handles into the
+/// runtime (the tracer is owned *by* the runtime, so `Arc` captures
+/// would cycle); returns the current value, or a stale 0 once the owner
+/// is gone.
+pub type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
+enum GaugeSource {
+    Counter(Counter),
+    Pull(GaugeFn),
+}
+
+struct GaugeEntry {
+    name: String,
+    source: GaugeSource,
+}
+
+impl GaugeEntry {
+    fn read(&self) -> u64 {
+        match &self.source {
+            GaugeSource::Counter(c) => c.get(),
+            GaugeSource::Pull(f) => f(),
+        }
+    }
+}
+
+/// The per-tracer gauge registry: named live gauges plus the timestamped
+/// series periodic sampling accumulates into.
+///
+/// Registration takes a mutex (it happens a handful of times at runtime
+/// construction); reading a [`Counter`] gauge from the hot path is a
+/// single relaxed atomic op and touches no lock.
+pub struct GaugeRegistry {
+    entries: Mutex<Vec<GaugeEntry>>,
+    samples: Mutex<Vec<(u64, Vec<u64>)>>,
+    /// Minimum clock distance between periodic samples; 0 disables
+    /// periodic sampling (explicit `record_sample` still works).
+    period: AtomicU64,
+    /// Next timestamp at which `maybe_record` fires. Claimed by CAS so
+    /// exactly one caller records per due window.
+    next_due: AtomicU64,
+}
+
+impl Default for GaugeRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GaugeRegistry {
+    pub fn new() -> GaugeRegistry {
+        GaugeRegistry {
+            entries: Mutex::new(Vec::new()),
+            samples: Mutex::new(Vec::new()),
+            period: AtomicU64::new(0),
+            next_due: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a push-style counter gauge and returns its handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let c = Counter::new();
+        self.entries.lock().push(GaugeEntry {
+            name: name.to_string(),
+            source: GaugeSource::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Registers a pull-style gauge sampled on demand.
+    pub fn register(&self, name: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.entries.lock().push(GaugeEntry {
+            name: name.to_string(),
+            source: GaugeSource::Pull(Box::new(f)),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Sets the periodic-sampling interval (0 disables).
+    pub fn set_period(&self, period: u64) {
+        self.period.store(period, Ordering::Relaxed);
+    }
+
+    pub fn period(&self) -> u64 {
+        self.period.load(Ordering::Relaxed)
+    }
+
+    /// Reads every gauge now, without recording. Registration order.
+    pub fn read_all(&self) -> Vec<(String, u64)> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|e| (e.name.clone(), e.read()))
+            .collect()
+    }
+
+    /// Unconditionally samples every gauge into the series at `ts`,
+    /// returning the sample index (`None` when no gauges are
+    /// registered — an empty row would carry no information).
+    pub fn record_sample(&self, ts: u64) -> Option<usize> {
+        let entries = self.entries.lock();
+        if entries.is_empty() {
+            return None;
+        }
+        let values: Vec<u64> = entries.iter().map(|e| e.read()).collect();
+        drop(entries);
+        let mut samples = self.samples.lock();
+        samples.push((ts, values));
+        Some(samples.len() - 1)
+    }
+
+    /// Rate-limited sampling: records iff the period is non-zero and at
+    /// least one period elapsed since the last recorded sample. The CAS
+    /// claim means concurrent callers at the same due point record once.
+    pub fn maybe_record(&self, ts: u64) -> Option<usize> {
+        let period = self.period.load(Ordering::Relaxed);
+        if period == 0 {
+            return None;
+        }
+        let due = self.next_due.load(Ordering::Relaxed);
+        if ts < due {
+            return None;
+        }
+        if self
+            .next_due
+            .compare_exchange(
+                due,
+                ts.saturating_add(period),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return None; // someone else claimed this window
+        }
+        self.record_sample(ts)
+    }
+
+    /// Point-in-time copy of the recorded series.
+    pub fn series(&self) -> GaugeSeriesSnapshot {
+        GaugeSeriesSnapshot {
+            names: self.entries.lock().iter().map(|e| e.name.clone()).collect(),
+            samples: self.samples.lock().clone(),
+        }
+    }
+}
+
+/// Immutable copy of a gauge series: gauge names (registration order)
+/// plus `(timestamp, values)` rows, one value per name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GaugeSeriesSnapshot {
+    pub names: Vec<String>,
+    pub samples: Vec<(u64, Vec<u64>)>,
+}
+
+impl GaugeSeriesSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The last recorded value of gauge `name`, if any.
+    pub fn last(&self, name: &str) -> Option<u64> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        self.samples.last().and_then(|(_, vs)| vs.get(idx).copied())
+    }
+
+    /// Deterministic JSON: `{"names": [...], "samples": [[ts, v0, v1,
+    /// ...], ...]}` — each sample row is the timestamp followed by one
+    /// value per name.
+    pub fn to_json(&self) -> Json {
+        let names: Vec<Json> = self.names.iter().map(|n| Json::Str(n.clone())).collect();
+        let samples: Vec<Json> = self
+            .samples
+            .iter()
+            .map(|(ts, vs)| {
+                let mut row = Vec::with_capacity(vs.len() + 1);
+                row.push(Json::U64(*ts));
+                row.extend(vs.iter().map(|&v| Json::U64(v)));
+                Json::Arr(row)
+            })
+            .collect();
+        Json::obj(vec![
+            ("names", Json::Arr(names)),
+            ("samples", Json::Arr(samples)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_pull_gauges_sample_in_registration_order() {
+        let reg = GaugeRegistry::new();
+        let c = reg.counter("queue_depth");
+        let shared = Arc::new(AtomicU64::new(7));
+        let weak = Arc::downgrade(&shared);
+        reg.register("chain_len", move || {
+            weak.upgrade()
+                .map(|v| v.load(Ordering::Relaxed))
+                .unwrap_or(0)
+        });
+        c.add(3);
+        c.sub(1);
+        assert_eq!(
+            reg.read_all(),
+            vec![("queue_depth".to_string(), 2), ("chain_len".to_string(), 7)]
+        );
+        reg.record_sample(100);
+        shared.store(9, Ordering::Relaxed);
+        reg.record_sample(250);
+        let s = reg.series();
+        assert_eq!(s.names, vec!["queue_depth", "chain_len"]);
+        assert_eq!(s.samples, vec![(100, vec![2, 7]), (250, vec![2, 9])]);
+        assert_eq!(s.last("chain_len"), Some(9));
+        // Owner dropped: the pull gauge degrades to 0 instead of dangling.
+        drop(shared);
+        assert_eq!(reg.read_all()[1].1, 0);
+    }
+
+    #[test]
+    fn counter_sub_saturates() {
+        let c = Counter::new();
+        c.add(2);
+        c.sub(10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn periodic_sampling_rate_limits() {
+        let reg = GaugeRegistry::new();
+        reg.counter("g");
+        assert_eq!(reg.maybe_record(10), None, "period 0 => periodic off");
+        reg.set_period(100);
+        assert!(reg.maybe_record(10).is_some(), "first due point records");
+        assert_eq!(reg.maybe_record(50), None, "inside the period window");
+        assert_eq!(reg.maybe_record(109), None);
+        assert!(reg.maybe_record(110).is_some());
+        assert_eq!(reg.series().samples.len(), 2);
+    }
+
+    #[test]
+    fn empty_registry_records_nothing() {
+        let reg = GaugeRegistry::new();
+        reg.set_period(1);
+        assert_eq!(reg.record_sample(5), None);
+        assert!(reg.series().is_empty());
+    }
+
+    #[test]
+    fn series_json_round_trips() {
+        let reg = GaugeRegistry::new();
+        let c = reg.counter("a");
+        reg.counter("b");
+        c.set(4);
+        reg.record_sample(17);
+        let j = reg.series().to_json();
+        assert_eq!(j.to_string(), r#"{"names":["a","b"],"samples":[[17,4,0]]}"#);
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+}

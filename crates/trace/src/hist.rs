@@ -127,6 +127,13 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// [`HistogramSnapshot::quantile`] with the conventional percentile
+    /// spelling: `percentile(99.0)` == `quantile(0.99)`. Values outside
+    /// `[0, 100]` are clamped.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile((p / 100.0).clamp(0.0, 1.0))
+    }
+
     /// Pointwise difference (for measuring one run out of a shared
     /// histogram). Saturating so a reset-free reader can never underflow.
     pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
@@ -203,6 +210,19 @@ mod tests {
     }
 
     #[test]
+    fn percentile_mirrors_quantile() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), s.quantile(0.5));
+        assert_eq!(s.percentile(100.0), 1000);
+        assert_eq!(s.percentile(250.0), 1000, "clamped above 100");
+        assert_eq!(s.percentile(-3.0), s.quantile(0.0), "clamped below 0");
+    }
+
+    #[test]
     fn delta_and_json() {
         let h = Histogram::new();
         h.record(5);
@@ -217,5 +237,64 @@ mod tests {
         // Round-trips through the parser.
         let s = j.to_string();
         assert_eq!(Json::parse(&s).unwrap(), j);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Values concentrated on bucket boundaries (powers of two and their
+    /// neighbours) plus small and broad-range fills, so the oracle
+    /// exercises the `[2^(i-1), 2^i)` edges, not just bucket interiors.
+    fn value_strategy() -> impl Strategy<Value = u64> {
+        prop_oneof![
+            0u64..16,
+            (0u32..64).prop_map(|s| 1u64 << s),
+            (0u32..64).prop_map(|s| (1u64 << s) - 1),
+            (0u32..63).prop_map(|s| (1u64 << s) + 1),
+            0u64..1_000_000,
+        ]
+    }
+
+    proptest! {
+        /// Oracle: against the exact sorted sample, the histogram's
+        /// percentile estimate must (a) never under-report, (b) stay
+        /// within the documented 2x bound, and (c) equal the upper bound
+        /// of the exact value's bucket, capped by the true max.
+        #[test]
+        fn percentile_matches_sorted_oracle(
+            input in (proptest::collection::vec(value_strategy(), 1..200), 1u64..1001)
+        ) {
+            let (values, p_tenths) = input;
+            let p = p_tenths as f64 / 10.0; // 0.1% ..= 100.0%
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let estimate = s.percentile(p);
+
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let n = sorted.len() as u64;
+            let rank = (((p / 100.0) * n as f64).ceil() as u64).clamp(1, n);
+            let exact = sorted[(rank - 1) as usize];
+
+            prop_assert!(estimate >= exact, "under-reported: est {estimate} < exact {exact}");
+            if exact == 0 {
+                prop_assert_eq!(estimate, 0);
+            } else {
+                prop_assert!(
+                    estimate <= exact.saturating_mul(2),
+                    "over 2x bound: est {} for exact {}",
+                    estimate,
+                    exact
+                );
+            }
+            let max = *sorted.last().unwrap();
+            prop_assert_eq!(estimate, bucket_upper(bucket_of(exact)).min(max));
+        }
     }
 }

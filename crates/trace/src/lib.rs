@@ -35,12 +35,14 @@
 pub mod attribution;
 pub mod chrome;
 pub mod event;
+pub mod gauge;
 pub mod hist;
 pub mod json;
 pub mod ring;
 
 pub use attribution::ConflictMap;
 pub use event::{EventKind, TraceEvent};
+pub use gauge::{Counter, GaugeRegistry, GaugeSeriesSnapshot};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use ring::Lane;
@@ -143,6 +145,9 @@ pub struct Tracer {
     pub metrics: Metrics,
     /// Conflict attribution (public: charged by abort paths).
     pub conflicts: ConflictMap,
+    /// Live gauge registry (public: runtimes register providers at
+    /// construction, hooks trigger periodic samples).
+    pub gauges: GaugeRegistry,
 }
 
 impl Tracer {
@@ -162,6 +167,12 @@ impl Tracer {
     }
 
     pub fn with_capacity(level: TraceLevel, lane_capacity: usize) -> Arc<Tracer> {
+        let gauges = GaugeRegistry::new();
+        // Periodic gauge sampling is opt-in: `WTF_GAUGE_PERIOD=<units>`
+        // sets the minimum clock distance between hook-driven samples.
+        if let Ok(p) = std::env::var("WTF_GAUGE_PERIOD") {
+            gauges.set_period(p.trim().parse().unwrap_or(0));
+        }
         Arc::new(Tracer {
             id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
             level: AtomicU8::new(level as u8),
@@ -169,6 +180,7 @@ impl Tracer {
             lanes: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
             conflicts: ConflictMap::new(),
+            gauges,
         })
     }
 
@@ -251,6 +263,45 @@ impl Tracer {
         self.lane().push(TraceEvent { ts, kind, a, b });
     }
 
+    /// Unconditionally samples every registered gauge into the series
+    /// (and the event stream) at the current time. No-op when off.
+    pub fn sample_gauges(&self) {
+        if !self.on() {
+            return;
+        }
+        let ts = self.now();
+        if let Some(idx) = self.gauges.record_sample(ts) {
+            self.record_at(
+                ts,
+                EventKind::GaugeSample,
+                idx as u64,
+                self.gauges.len() as u64,
+            );
+        }
+    }
+
+    /// Rate-limited gauge sampling for hot-path hooks: records only when
+    /// tracing is on *and* the registry's period has elapsed. Costs one
+    /// relaxed load when off and two when inside the period window.
+    #[inline]
+    pub fn maybe_sample_gauges(&self) {
+        if !self.on() {
+            return;
+        }
+        if self.gauges.period() == 0 {
+            return;
+        }
+        let ts = self.now();
+        if let Some(idx) = self.gauges.maybe_record(ts) {
+            self.record_at(
+                ts,
+                EventKind::GaugeSample,
+                idx as u64,
+                self.gauges.len() as u64,
+            );
+        }
+    }
+
     /// Charges a conflict abort to `box_id`. No-op when off.
     #[inline]
     pub fn charge_conflict(&self, box_id: u64) {
@@ -321,6 +372,7 @@ impl Tracer {
             conflict_total: self.conflicts.total(),
             hotspots: self.conflicts.hotspots(HOTSPOT_LIMIT),
             stripe_conflicts: self.conflicts.stripe_counts(),
+            gauges: self.gauges.series(),
         }
     }
 }
@@ -342,6 +394,7 @@ pub struct TraceSummary {
     pub conflict_total: u64,
     pub hotspots: Vec<(u64, u64)>,
     pub stripe_conflicts: Vec<u64>,
+    pub gauges: GaugeSeriesSnapshot,
 }
 
 impl Default for TraceSummary {
@@ -357,6 +410,7 @@ impl Default for TraceSummary {
             conflict_total: 0,
             hotspots: Vec::new(),
             stripe_conflicts: Vec::new(),
+            gauges: GaugeSeriesSnapshot::default(),
         }
     }
 }
@@ -396,6 +450,7 @@ impl TraceSummary {
                     ("stripes", Json::Arr(stripes)),
                 ]),
             ),
+            ("gauges", self.gauges.to_json()),
         ])
     }
 }

@@ -156,6 +156,9 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         }
         let tm_stats = tm.stats().delta_since(&tm0);
         let stm_stats = tm.stm().stats().delta_since(&stm0);
+        // Close every gauge series with one end-of-run sample, taken at
+        // deterministic virtual time (no-op when tracing is off).
+        tm.tracer().sample_gauges();
         tm.shutdown();
         (tm_stats, stm_stats)
     });
