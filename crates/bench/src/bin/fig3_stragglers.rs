@@ -33,7 +33,7 @@ fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tra
             .build();
         let log = tm.new_vbox::<Vec<(usize, u64)>>(Vec::new());
         let log2 = log.clone();
-        tm.atomic(move |ctx| {
+        tm.atomic_infallible(move |ctx| {
             let mut in_flight: Vec<(usize, TxFuture<u64>)> = Vec::new();
             let mut done: Vec<(usize, u64)> = Vec::new();
             let mut next = 0usize;
@@ -66,8 +66,7 @@ fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tra
             }
             ctx.write(&log2, done.clone())?;
             Ok(())
-        })
-        .unwrap();
+        });
         let out = log.read_latest();
         // Final gauge sample: closes every series at end-of-run virtual
         // time (deterministic, so safe for the byte-stable baselines).
@@ -90,6 +89,14 @@ fn main() {
         ("WO (weakly ordered)", "wo", Semantics::WO_GAC, false),
     ] {
         let (completions, makespan, tracer) = run(sem, in_order);
+        // WTF_CHECK=1: re-derive a serialization witness for the run we
+        // just traced, independently of the TM's own bookkeeping.
+        if std::env::var("WTF_CHECK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            match wtf_check::HistoryChecker::from_tracer(&tracer).verify() {
+                Ok(rep) => eprintln!("wtf-check[{mode}]: {}", rep.summary()),
+                Err(e) => panic!("WTF_CHECK failed for fig3 {mode}: {e}"),
+            }
+        }
         let order: Vec<String> = completions
             .iter()
             .map(|(t, at)| format!("T{t}@{at}"))

@@ -1,0 +1,38 @@
+//! Seeded TM-misuse fixture for `wtf-lint`. NOT compiled — this file
+//! exists so CI (and `lint::tests`) can assert the linter fails on every
+//! rule it claims to detect. `lint_tree` skips `fixtures/` directories,
+//! so these findings never count against the real workspace.
+
+use wtf_mvstm::raw::Snapshot;
+use wtf_mvstm::{raw, Stm, VBox};
+
+/// raw-api: the low-level layer outside the runtime crates.
+fn sneaky_read(stm: &Stm, b: &VBox<u64>) -> u64 {
+    let snap = raw::acquire_snapshot(stm);
+    let body = raw::body_of(b);
+    let (_, v) = raw::read_at(&body, snap.version());
+    *v.downcast_ref::<u64>().unwrap()
+}
+
+/// snapshot-retained: pins the GC horizon for the cache's lifetime.
+struct SnapshotCache {
+    snap: Snapshot,
+}
+
+/// thread-escape: transactional context moved into a plain OS thread.
+fn escape(ctx: &mut wtf_core::TxCtx, b: VBox<u64>) {
+    std::thread::spawn(move || {
+        let _ = ctx.read(&b);
+    });
+}
+
+/// unchecked-atomic: aborts/conflicts swallowed by unwrap.
+fn transfer(stm: &Stm, a: &VBox<i64>, b: &VBox<i64>) {
+    stm.atomic(|tx| {
+        let x = tx.read(a)?;
+        tx.write(a, x - 1)?;
+        let y = tx.read(b)?;
+        tx.write(b, y + 1)
+    })
+    .unwrap();
+}

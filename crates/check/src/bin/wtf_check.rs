@@ -1,0 +1,136 @@
+//! `wtf-check` — offline verification of exported traces and benchmark
+//! results.
+//!
+//! ```text
+//! wtf-check trace.json ...        # explicit files
+//! wtf-check --all results/        # every *.json in a directory
+//! ```
+//!
+//! Two input shapes are understood:
+//!
+//! * a Chrome trace JSON *array* (as exported by `Tracer::chrome_trace_json`
+//!   or the fig3 straggler binary): the full serializability checker runs
+//!   on the reconstructed event lanes;
+//! * a benchmark result *object* (the fig binaries' `results/*.json`):
+//!   every `dropped_events` / `events_dropped` counter anywhere in the
+//!   document must be zero — a truncated trace invalidates whatever was
+//!   concluded from it, so it fails loudly here.
+//!
+//! Exit status is non-zero if any file fails (or no file was checked).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use wtf_check::HistoryChecker;
+use wtf_trace::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => {
+                i += 1;
+                let dir = match args.get(i) {
+                    Some(d) => Path::new(d),
+                    None => {
+                        eprintln!("wtf-check: --all needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match list_json(dir) {
+                    Ok(mut found) => files.append(&mut found),
+                    Err(e) => {
+                        eprintln!("wtf-check: {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: wtf-check [--all <dir>] [file.json ...]");
+                return ExitCode::SUCCESS;
+            }
+            f => files.push(PathBuf::from(f)),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        eprintln!("wtf-check: no input files (try --all results/)");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in &files {
+        match check_file(file) {
+            Ok(msg) => println!("{}: {msg}", file.display()),
+            Err(e) => {
+                failed = true;
+                eprintln!("{}: FAILED: {e}", file.display());
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("wtf-check: {} file(s) ok", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn list_json(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn check_file(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    match &json {
+        Json::Arr(_) => {
+            let report = HistoryChecker::from_chrome_json(&json)
+                .map_err(|e| e.to_string())?
+                .verify()
+                .map_err(|e| e.to_string())?;
+            Ok(report.summary())
+        }
+        Json::Obj(_) => {
+            let mut counters = 0usize;
+            check_no_drops(&json, &mut counters)?;
+            Ok(format!(
+                "summary only (no event stream): {counters} drop counter(s), all zero"
+            ))
+        }
+        _ => Err("neither a Chrome trace array nor a result object".to_string()),
+    }
+}
+
+/// Walks a result document for drop counters; any non-zero one is fatal.
+fn check_no_drops(json: &Json, counters: &mut usize) -> Result<(), String> {
+    match json {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                if k == "dropped_events" || k == "events_dropped" {
+                    *counters += 1;
+                    if v.as_u64() != Some(0) {
+                        return Err(format!(
+                            "`{k}` is {v} — the trace behind this result was truncated"
+                        ));
+                    }
+                } else {
+                    check_no_drops(v, counters)?;
+                }
+            }
+            Ok(())
+        }
+        Json::Arr(items) => {
+            for item in items {
+                check_no_drops(item, counters)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}

@@ -1,0 +1,43 @@
+//! `wtf-lint` — TM-misuse lint over Rust source trees.
+//!
+//! ```text
+//! wtf-lint crates/ src/          # lint these trees (default: .)
+//! ```
+//!
+//! Rules and suppression syntax are documented in `wtf_check::lint`.
+//! Exit status is non-zero when any finding survives.
+
+use std::path::Path;
+use std::process::ExitCode;
+use wtf_check::lint_tree;
+
+fn main() -> ExitCode {
+    let mut roots: Vec<String> = std::env::args().skip(1).collect();
+    if roots.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: wtf-lint [path ...]   (default: current directory)");
+        return ExitCode::SUCCESS;
+    }
+    if roots.is_empty() {
+        roots.push(".".to_string());
+    }
+    let mut findings = Vec::new();
+    for root in &roots {
+        match lint_tree(Path::new(root)) {
+            Ok(mut f) => findings.append(&mut f),
+            Err(e) => {
+                eprintln!("wtf-lint: {root}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("wtf-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wtf-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,101 @@
+//! Bounded schedule exploration: every interleaving of small conflicting
+//! transaction programs — and every delay vector through the futures
+//! path — must produce a checker-clean history.
+
+use wtf_check::explore::{explore_core_delays, explore_mvstm, schedule_count, StepOp};
+use wtf_core::Semantics;
+use StepOp::{Commit, Read, Write};
+
+/// Two conflicting read-modify-write transactions on one box: all 20
+/// interleavings; whichever validates second aborts, and every schedule's
+/// history verifies.
+#[test]
+fn explores_two_thread_rmw_conflict() {
+    let programs = vec![
+        vec![Read(0), Write(0, 1), Commit],
+        vec![Read(0), Write(0, 2), Commit],
+    ];
+    assert_eq!(schedule_count(&programs), 20);
+    let report = explore_mvstm(&programs, 1).unwrap();
+    assert_eq!(report.schedules, 20);
+    assert_eq!(report.commits + report.aborts, 40);
+    // Fully serial schedules (one txn strictly before the other) commit
+    // both; truly interleaved ones abort the later validator.
+    assert!(report.aborts > 0, "{report:?}");
+    assert!(report.commits > report.aborts, "{report:?}");
+}
+
+/// The write-skew shape: disjoint write sets, crossed read sets. The
+/// runtime's read-set validation must abort one of the two in every
+/// interleaved schedule, and the checker must agree with every outcome.
+#[test]
+fn explores_write_skew_shape() {
+    let programs = vec![
+        vec![Read(0), Read(1), Write(0, 1), Commit],
+        vec![Read(0), Read(1), Write(1, 1), Commit],
+    ];
+    assert_eq!(schedule_count(&programs), 70);
+    let report = explore_mvstm(&programs, 2).unwrap();
+    assert_eq!(report.schedules, 70);
+    assert!(report.aborts > 0);
+}
+
+/// Three threads: two writers and a read-only observer across two boxes.
+/// Read-only transactions must commit in every schedule (multi-version
+/// snapshots), and all histories verify.
+#[test]
+fn explores_three_thread_mix() {
+    let programs = vec![
+        vec![Read(0), Write(1, 1), Commit],
+        vec![Read(1), Write(0, 1), Commit],
+        vec![Read(0), Read(1), Commit],
+    ];
+    assert_eq!(schedule_count(&programs), 1680);
+    let report = explore_mvstm(&programs, 2).unwrap();
+    assert_eq!(report.schedules, 1680);
+    // The read-only observer never aborts: at most one abort per schedule.
+    assert!(report.commits >= 2 * report.schedules, "{report:?}");
+}
+
+/// Delay-grid exploration of the core futures path under the virtual
+/// clock: both the paper's most permissive (WO_GAC) and strictest (SO)
+/// semantics stay checker-clean across racy commit orderings.
+#[test]
+fn explores_core_delay_grid() {
+    for sem in [Semantics::WO_GAC, Semantics::SO] {
+        let report = explore_core_delays(sem, &[0, 2_500]).unwrap();
+        assert_eq!(report.schedules, 16, "{sem:?}");
+        // Both clients commit in every run (doomed tops are replayed).
+        assert_eq!(report.commits, 32, "{sem:?}");
+    }
+}
+
+/// Wider CI configuration (runs in the scheduled deep-verify job):
+/// `cargo test -p wtf-check --release -- --ignored`.
+#[test]
+#[ignore = "CI deep-verify: thousands of schedules"]
+fn explores_deep_configurations() {
+    // Three fully conflicting RMW writers on one box: 1680 schedules.
+    let programs = vec![
+        vec![Read(0), Write(0, 1), Commit],
+        vec![Read(0), Write(0, 2), Commit],
+        vec![Read(0), Write(0, 3), Commit],
+    ];
+    let report = explore_mvstm(&programs, 1).unwrap();
+    assert_eq!(report.schedules, 1680);
+
+    // Write skew plus an observer: 34650 schedules.
+    let programs = vec![
+        vec![Read(0), Read(1), Write(0, 1), Commit],
+        vec![Read(0), Read(1), Write(1, 1), Commit],
+        vec![Read(0), Read(1), Commit],
+    ];
+    let report = explore_mvstm(&programs, 2).unwrap();
+    assert_eq!(report.schedules, 34_650);
+
+    // Finer delay grid through the futures path.
+    for sem in [Semantics::WO_GAC, Semantics::WO_LAC, Semantics::SO] {
+        let report = explore_core_delays(sem, &[0, 800, 2_500]).unwrap();
+        assert_eq!(report.schedules, 81, "{sem:?}");
+    }
+}

@@ -451,6 +451,8 @@ impl FutureTm {
 
     /// Like [`FutureTm::atomic`] but panics on explicit abort.
     pub fn atomic_infallible<T>(&self, body: impl FnMut(&mut TxCtx) -> TxResult<T>) -> T {
+        // This IS the sanctioned panic-on-abort wrapper the lint points
+        // users at. wtf-lint: allow(unchecked-atomic)
         self.atomic(body).expect("transaction aborted explicitly")
     }
 

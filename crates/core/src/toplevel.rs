@@ -640,12 +640,18 @@ impl TopLevel {
                 winners.insert(id, node);
                 writes.push((body, value));
             }
-            let mut reads: Vec<Arc<BoxBody>> = Vec::new();
+            // Keep the observed version alongside each body: it is what
+            // the commit-time serialization record (`CommitRead` events)
+            // re-emits for offline checkers, and it must be captured here
+            // — after publication, GC may prune the observed version.
+            let mut reads: Vec<(Arc<BoxBody>, u64)> = Vec::new();
             let mut seen: HashSet<BoxId> = HashSet::new();
             for &n in &included {
                 for (id, entry) in nodes[n].reads.lock().iter() {
-                    if matches!(entry.origin, ReadOrigin::Global(_)) && seen.insert(*id) {
-                        reads.push(entry.body.clone());
+                    if let ReadOrigin::Global(v) = entry.origin {
+                        if seen.insert(*id) {
+                            reads.push((entry.body.clone(), v));
+                        }
                     }
                 }
             }
@@ -663,7 +669,12 @@ impl TopLevel {
         let version = if writes.is_empty() {
             self.snapshot_version()
         } else {
-            match raw::commit_attributed(&tm.stm, self.snapshot_version(), reads.iter(), writes) {
+            match raw::commit_attributed(
+                &tm.stm,
+                self.snapshot_version(),
+                reads.iter().map(|(body, _)| body),
+                writes,
+            ) {
                 Ok(v) => v,
                 Err(conflict_box) => {
                     tm.stats.top_aborts();
@@ -690,6 +701,20 @@ impl TopLevel {
             tm.clock.notify_all(&fut.event);
         }
         tm.stats.top_commits();
+        if tm.tracer.full() {
+            // Serialization record: one `CommitRead` per gathered read,
+            // contiguous on this lane immediately before the `TopCommit`,
+            // so offline checkers (`wtf-check`) can rebuild the committed
+            // read-set from the trace alone.
+            let mut rec: Vec<(u64, u64)> = reads
+                .iter()
+                .map(|(body, v)| (raw::id_of(body).0, *v))
+                .collect();
+            rec.sort_unstable();
+            for (id, v) in rec {
+                tm.tracer.record_full(EventKind::CommitRead, id, v);
+            }
+        }
         tm.tracer.record(EventKind::TopCommit, self.id, version);
         if tm.tracer.full() {
             tm.conflict_abort_streak.store(0, Ordering::Relaxed);

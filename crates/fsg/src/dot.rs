@@ -19,35 +19,6 @@ use crate::VertexKind;
 use std::fmt::Write;
 
 impl Polygraph {
-    /// Returns a concrete cycle among the **fixed** edges, as a closed
-    /// edge list (each edge's head is the next edge's tail, and the last
-    /// edge closes back to the first), or `None` if the fixed edges form
-    /// a DAG. Self-loops count as one-edge cycles.
-    ///
-    /// This is the doom explainer: when [`Polygraph::acyclic_witness`]
-    /// returns `None` because the fixed edges alone are cyclic, this
-    /// names the offending edges.
-    pub fn find_cycle(&self) -> Option<Vec<(usize, usize)>> {
-        let mut adj = vec![Vec::new(); self.node_count()];
-        for &(a, b) in &self.edges {
-            if a == b {
-                return Some(vec![(a, a)]);
-            }
-            adj[a].push(b);
-        }
-        // 0 = unvisited, 1 = on the current DFS path, 2 = done.
-        let mut color = vec![0u8; self.node_count()];
-        let mut path = Vec::new();
-        for start in 0..self.node_count() {
-            if color[start] == 0 {
-                if let Some(c) = dfs_cycle(start, &adj, &mut color, &mut path) {
-                    return Some(c);
-                }
-            }
-        }
-        None
-    }
-
     /// DOT rendering with verdict highlighting (nodes labeled `v{i}`).
     ///
     /// * `witness: Some(edges)` — the chosen bipath edges (normally
@@ -109,35 +80,6 @@ impl Polygraph {
         s.push_str("}\n");
         s
     }
-}
-
-fn dfs_cycle(
-    n: usize,
-    adj: &[Vec<usize>],
-    color: &mut [u8],
-    path: &mut Vec<usize>,
-) -> Option<Vec<(usize, usize)>> {
-    color[n] = 1;
-    path.push(n);
-    for &m in &adj[n] {
-        if color[m] == 1 {
-            // Back edge: the cycle is the path suffix from m, closed by
-            // the edge (n, m).
-            let pos = path.iter().position(|&x| x == m).expect("m is on path");
-            let mut cyc: Vec<(usize, usize)> =
-                path[pos..].windows(2).map(|w| (w[0], w[1])).collect();
-            cyc.push((n, m));
-            return Some(cyc);
-        }
-        if color[m] == 0 {
-            if let Some(c) = dfs_cycle(m, adj, color, path) {
-                return Some(c);
-            }
-        }
-    }
-    path.pop();
-    color[n] = 2;
-    None
 }
 
 impl Fsg {

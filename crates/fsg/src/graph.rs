@@ -5,6 +5,65 @@
 //! encodes `2^n` directed graphs; it is **acyclic** iff at least one of
 //! those graphs is a DAG.
 
+/// Finds a concrete cycle in the directed graph over `nodes` vertices
+/// with the given `edges`, as a closed edge list (each edge's head is
+/// the next edge's tail, and the last edge closes back to the first),
+/// or `None` if the edges form a DAG. Self-loops count as one-edge
+/// cycles.
+///
+/// This is the single cycle finder shared by [`Polygraph::find_cycle`]
+/// (the doom explainer behind the DOT exporters) and `wtf-check`'s
+/// trace-driven history checker.
+pub fn find_cycle_in(nodes: usize, edges: &[(usize, usize)]) -> Option<Vec<(usize, usize)>> {
+    let mut adj = vec![Vec::new(); nodes];
+    for &(a, b) in edges {
+        if a == b {
+            return Some(vec![(a, a)]);
+        }
+        adj[a].push(b);
+    }
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut color = vec![0u8; nodes];
+    let mut path = Vec::new();
+    for start in 0..nodes {
+        if color[start] == 0 {
+            if let Some(c) = dfs_cycle(start, &adj, &mut color, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+fn dfs_cycle(
+    n: usize,
+    adj: &[Vec<usize>],
+    color: &mut [u8],
+    path: &mut Vec<usize>,
+) -> Option<Vec<(usize, usize)>> {
+    color[n] = 1;
+    path.push(n);
+    for &m in &adj[n] {
+        if color[m] == 1 {
+            // Back edge: the cycle is the path suffix from m, closed by
+            // the edge (n, m).
+            let pos = path.iter().position(|&x| x == m).expect("m is on path");
+            let mut cyc: Vec<(usize, usize)> =
+                path[pos..].windows(2).map(|w| (w[0], w[1])).collect();
+            cyc.push((n, m));
+            return Some(cyc);
+        }
+        if color[m] == 0 {
+            if let Some(c) = dfs_cycle(m, adj, color, path) {
+                return Some(c);
+            }
+        }
+    }
+    path.pop();
+    color[n] = 2;
+    None
+}
+
 /// A directed graph with bipath (either/or edge) constraints.
 #[derive(Debug, Clone, Default)]
 pub struct Polygraph {
@@ -98,6 +157,17 @@ impl Polygraph {
             chosen.pop();
         }
         false
+    }
+
+    /// Returns a concrete cycle among the **fixed** edges, as a closed
+    /// edge list, or `None` if the fixed edges form a DAG. Delegates to
+    /// [`find_cycle_in`], the cycle finder shared with `wtf-check`.
+    ///
+    /// This is the doom explainer: when [`Polygraph::acyclic_witness`]
+    /// returns `None` because the fixed edges alone are cyclic, this
+    /// names the offending edges.
+    pub fn find_cycle(&self) -> Option<Vec<(usize, usize)>> {
+        find_cycle_in(self.nodes, &self.edges)
     }
 
     /// Like [`Polygraph::acyclic`] but also returns the witnessing edge

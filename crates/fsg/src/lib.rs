@@ -47,7 +47,7 @@ mod history;
 pub mod paper;
 
 pub use build::{build_fsg, Fsg, Vertex, VertexId, VertexKind};
-pub use graph::Polygraph;
+pub use graph::{find_cycle_in, Polygraph};
 pub use history::{History, Op, TxId, Var};
 
 /// Ordering semantics of transactional futures (§3.1).

@@ -254,7 +254,40 @@ impl Stm {
     /// Like [`Stm::atomic`] but panics on explicit abort; convenient when
     /// the body never aborts.
     pub fn atomic_infallible<T>(&self, f: impl FnMut(&mut Txn) -> TxResult<T>) -> T {
+        // This IS the sanctioned panic-on-abort wrapper the lint points
+        // users at. wtf-lint: allow(unchecked-atomic)
         self.atomic(f).expect("transaction aborted explicitly")
+    }
+
+    /// Begins a stepwise transaction outside the [`Stm::atomic`] retry
+    /// loop. This is the schedule-explorer hook (`wtf-check` interleaves
+    /// the read/write/commit steps of several transactions): the caller
+    /// owns conflict handling, and a [`Txn::commit`] `Conflict` is final.
+    /// Application code should use [`Stm::atomic`].
+    pub fn begin_txn(&self) -> Txn<'_> {
+        Txn::begin(self)
+    }
+}
+
+/// Mutation hooks for `wtf-check`'s checker self-tests: deliberately
+/// break one protocol branch so a test can assert the offline checker
+/// catches the resulting bad history. Compiled only under the
+/// `test-hooks` feature and off by default even then; never enable the
+/// feature in production builds.
+#[cfg(feature = "test-hooks")]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SKIP_VALIDATION: AtomicBool = AtomicBool::new(false);
+
+    /// When set, `commit_attributed` skips read-set validation entirely —
+    /// the classic write-skew hole a serializable TM must not have.
+    pub fn set_skip_validation(on: bool) {
+        SKIP_VALIDATION.store(on, Ordering::SeqCst);
+    }
+
+    pub fn skip_validation() -> bool {
+        SKIP_VALIDATION.load(Ordering::SeqCst)
     }
 }
 

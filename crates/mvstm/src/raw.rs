@@ -134,12 +134,22 @@ pub fn commit_attributed<'a>(
         mask |= StripeTable::mask_of(body.id);
     }
     let stripes = inner.stripes.lock_mask(mask);
-    for body in &read_bodies {
-        if body.head_version() > snapshot {
-            // Attribute the abort to the box whose version check failed —
-            // the input to the per-run conflict hotspot report.
-            tracer.charge_conflict(body.id.0);
-            return Err(body.id);
+    // Mutation hook (`test-hooks` feature only): checker self-tests flip
+    // this to skip validation and assert `wtf-check` rejects the
+    // resulting non-serializable history.
+    #[cfg(feature = "test-hooks")]
+    let validate = !crate::test_hooks::skip_validation();
+    #[cfg(not(feature = "test-hooks"))]
+    let validate = true;
+    if validate {
+        for body in &read_bodies {
+            if body.head_version() > snapshot {
+                // Attribute the abort to the box whose version check
+                // failed — the input to the per-run conflict hotspot
+                // report.
+                tracer.charge_conflict(body.id.0);
+                return Err(body.id);
+            }
         }
     }
     let validated = tracer.span_end(

@@ -36,7 +36,12 @@ pub type TxResult<T> = Result<T, StmError>;
 pub struct Txn<'s> {
     stm: &'s Stm,
     snapshot: Snapshot,
-    read_set: FxHashMap<BoxId, Arc<BoxBody>>,
+    /// Body plus the version the first read observed — the observed
+    /// version is what the commit-time serialization record
+    /// ([`EventKind::CommitRead`](wtf_trace::EventKind)) re-emits, and it
+    /// must be captured at read time: after our own commit, GC may have
+    /// pruned the version we actually read.
+    read_set: FxHashMap<BoxId, (Arc<BoxBody>, u64)>,
     write_set: FxHashMap<BoxId, (Arc<BoxBody>, Value)>,
 }
 
@@ -71,7 +76,7 @@ impl<'s> Txn<'s> {
             .record_full(wtf_trace::EventKind::StmRead, vbox.body.id.0, version);
         self.read_set
             .entry(vbox.body.id)
-            .or_insert_with(|| vbox.body.clone());
+            .or_insert_with(|| (vbox.body.clone(), version));
         Ok(downcast_value(&value))
     }
 
@@ -97,7 +102,11 @@ impl<'s> Txn<'s> {
         self.write_set.len()
     }
 
-    pub(crate) fn commit(self) -> Result<(), StmError> {
+    /// Validates and publishes the transaction. Outside [`Stm::atomic`]'s
+    /// retry loop this is driven directly only by schedule explorers
+    /// (`wtf-check`), which treat a `Conflict` as a final abort rather
+    /// than retrying.
+    pub fn commit(self) -> Result<(), StmError> {
         let stm = self.stm;
         if self.write_set.is_empty() {
             // The multi-version property: read-only transactions observed a
@@ -107,14 +116,43 @@ impl<'s> Txn<'s> {
                 .stats
                 .read_only_commits
                 .fetch_add(1, Ordering::Relaxed);
+            // Serialization record: a read-only commit serializes at its
+            // snapshot version.
+            let snapshot = self.snapshot.version();
+            Self::record_commit(stm, &self.read_set, snapshot, snapshot);
             return Ok(());
         }
-        raw::commit_raw(
+        let snapshot = self.snapshot.version();
+        let version = raw::commit_raw(
             stm,
-            self.snapshot.version(),
-            self.read_set.values(),
+            snapshot,
+            self.read_set.values().map(|(body, _)| body),
             self.write_set.into_values().collect(),
         )?;
+        Self::record_commit(stm, &self.read_set, version, snapshot);
         Ok(())
+    }
+
+    /// Emits the commit-time serialization record at Full detail: one
+    /// [`CommitRead`](wtf_trace::EventKind::CommitRead) per read-set entry
+    /// followed by the [`TxnCommit`](wtf_trace::EventKind::TxnCommit)
+    /// marker, contiguous on the committing thread's lane so offline
+    /// checkers can attribute the reads to this commit.
+    fn record_commit(
+        stm: &Stm,
+        read_set: &FxHashMap<BoxId, (Arc<BoxBody>, u64)>,
+        version: u64,
+        snapshot: u64,
+    ) {
+        let tracer = &stm.inner.tracer;
+        let mut reads: Vec<(BoxId, u64)> = read_set
+            .iter()
+            .map(|(id, (_, observed))| (*id, *observed))
+            .collect();
+        reads.sort_unstable();
+        for (id, observed) in reads {
+            tracer.record_full(wtf_trace::EventKind::CommitRead, id.0, observed);
+        }
+        tracer.record_full(wtf_trace::EventKind::TxnCommit, version, snapshot);
     }
 }

@@ -8,7 +8,7 @@
 //! `tid` is the recording lane's index, so Perfetto shows one row per
 //! worker/client thread.
 
-use crate::event::TraceEvent;
+use crate::event::{EventKind, TraceEvent};
 use crate::json::Json;
 
 /// Renders `(lane_index, events)` groups as a Chrome trace JSON array.
@@ -37,6 +37,57 @@ pub fn chrome_trace(lanes: &[(usize, Vec<TraceEvent>)]) -> Json {
         }
     }
     Json::Arr(out)
+}
+
+/// Parses a Chrome trace JSON array (as produced by [`chrome_trace`])
+/// back into `(lane_index, events)` groups, the inverse mapping used by
+/// `wtf-check` to re-verify exported traces offline.
+///
+/// Records whose `name` is not a known [`EventKind`] are skipped (a
+/// foreign trace may carry metadata records); records with a known name
+/// but missing/mistyped fields are errors — silently dropping those
+/// would let a truncated or corrupted trace pass vacuously.
+pub fn parse_chrome_trace(json: &Json) -> Result<Vec<(usize, Vec<TraceEvent>)>, String> {
+    let records = json
+        .as_arr()
+        .ok_or("chrome trace: top level is not an array")?;
+    let mut lanes: Vec<(usize, Vec<TraceEvent>)> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        let name = match rec.get("name").and_then(Json::as_str) {
+            Some(n) => n,
+            None => return Err(format!("chrome trace: record {i} has no name")),
+        };
+        let kind = match EventKind::from_name(name) {
+            Some(k) => k,
+            None => continue,
+        };
+        let field = |key: &str| -> Result<u64, String> {
+            rec.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("chrome trace: record {i} ({name}): bad field {key:?}"))
+        };
+        let arg = |key: &str| -> Result<u64, String> {
+            rec.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("chrome trace: record {i} ({name}): bad arg {key:?}"))
+        };
+        let ts = field("ts")?;
+        let tid = field("tid")? as usize;
+        let (a_name, b_name) = kind.arg_names();
+        let (a, b) = if kind.is_span() {
+            (field("dur")?, arg(b_name)?)
+        } else {
+            (arg(a_name)?, arg(b_name)?)
+        };
+        let ev = TraceEvent { ts, kind, a, b };
+        match lanes.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, evs)) => evs.push(ev),
+            None => lanes.push((tid, vec![ev])),
+        }
+    }
+    lanes.sort_by_key(|(t, _)| *t);
+    Ok(lanes)
 }
 
 #[cfg(test)]
@@ -72,5 +123,56 @@ mod tests {
         // Whole export round-trips through the parser.
         let s = j.to_string();
         assert_eq!(Json::parse(&s).unwrap(), j);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let lanes = vec![
+            (
+                0usize,
+                vec![
+                    TraceEvent {
+                        ts: 1,
+                        kind: EventKind::TopBegin,
+                        a: 7,
+                        b: 0,
+                    },
+                    TraceEvent {
+                        ts: 5,
+                        kind: EventKind::CommitRead,
+                        a: 3,
+                        b: 0,
+                    },
+                    TraceEvent {
+                        ts: 5,
+                        kind: EventKind::TopCommit,
+                        a: 7,
+                        b: 1,
+                    },
+                ],
+            ),
+            (
+                2usize,
+                vec![TraceEvent {
+                    ts: 9,
+                    kind: EventKind::StmCommitSpan,
+                    a: 4,
+                    b: 2,
+                }],
+            ),
+        ];
+        let exported = chrome_trace(&lanes);
+        let back = parse_chrome_trace(&exported).unwrap();
+        assert_eq!(back, lanes);
+        // Unknown record names are skipped, not errors.
+        let mut arr = exported.as_arr().unwrap().to_vec();
+        arr.push(Json::obj(vec![
+            ("name", "metadata".into()),
+            ("ph", "M".into()),
+        ]));
+        assert_eq!(parse_chrome_trace(&Json::Arr(arr)).unwrap(), lanes);
+        // A known name with a missing field is an error.
+        let bad = Json::Arr(vec![Json::obj(vec![("name", "top_commit".into())])]);
+        assert!(parse_chrome_trace(&bad).is_err());
     }
 }

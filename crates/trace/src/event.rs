@@ -77,10 +77,19 @@ pub enum EventKind {
     /// The stall watchdog detected a no-commit-progress window.
     /// a=straggler top_id (or u64::MAX if none live), b=window length.
     WatchdogStall,
+    /// One entry of a committed transaction's read set, re-emitted on the
+    /// committer's lane immediately before its commit event so offline
+    /// checkers can reconstruct the serialization record (Full detail
+    /// only). a=box_id, b=observed version (0 = initial value).
+    CommitRead,
+    /// A baseline (future-free) mvstm transaction committed (Full detail
+    /// only; top-levels use [`EventKind::TopCommit`] instead).
+    /// a=commit_version, b=snapshot_version.
+    TxnCommit,
 }
 
 /// All kinds, in discriminant order (export tables, tests).
-pub const ALL_KINDS: [EventKind; 24] = [
+pub const ALL_KINDS: [EventKind; 26] = [
     EventKind::TopBegin,
     EventKind::TopCommit,
     EventKind::TopConflictAbort,
@@ -105,6 +114,8 @@ pub const ALL_KINDS: [EventKind; 24] = [
     EventKind::WorkerIdleSpan,
     EventKind::GaugeSample,
     EventKind::WatchdogStall,
+    EventKind::CommitRead,
+    EventKind::TxnCommit,
 ];
 
 impl EventKind {
@@ -135,7 +146,15 @@ impl EventKind {
             EventKind::WorkerIdleSpan => "worker_idle",
             EventKind::GaugeSample => "gauge_sample",
             EventKind::WatchdogStall => "watchdog_stall",
+            EventKind::CommitRead => "commit_read",
+            EventKind::TxnCommit => "txn_commit",
         }
+    }
+
+    /// Inverse of [`EventKind::name`], for trace importers (`wtf-check`
+    /// re-reads exported Chrome traces through this).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
     }
 
     /// Span kinds carry (start, duration); the rest are instants.
@@ -173,6 +192,8 @@ impl EventKind {
             EventKind::WorkerBusySpan | EventKind::WorkerIdleSpan => ("dur", "worker"),
             EventKind::GaugeSample => ("sample", "gauges"),
             EventKind::WatchdogStall => ("top", "window"),
+            EventKind::CommitRead => ("box", "version"),
+            EventKind::TxnCommit => ("version", "snapshot"),
         }
     }
 }

@@ -58,6 +58,18 @@ impl Json {
         }
     }
 
+    /// Unsigned value, exact (U64, or I64/F64 when losslessly in range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            Json::F64(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// Numeric value as f64 (U64/I64/F64).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -165,7 +165,7 @@ pub fn futures_replay(
             for chunk_idx in 0..cfg.chunks_per_client {
                 let bank = bank.clone();
                 let log = log.clone();
-                tm.atomic(move |ctx| {
+                tm.atomic_infallible(move |ctx| {
                     let chunk = &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
                     let mut in_flight: Vec<TxFuture<i64>> = Vec::new();
                     let mut kinds: Vec<bool> = Vec::new(); // is_total per in-flight
@@ -199,8 +199,7 @@ pub fn futures_replay(
                         settle(ctx, &mut in_flight, &mut kinds)?;
                     }
                     Ok(())
-                })
-                .unwrap();
+                });
             }
         }),
     )
@@ -228,7 +227,7 @@ pub fn toplevel_replay(cfg: &BankConfig, clients: usize) -> RunResult {
             for chunk_idx in 0..cfg.chunks_per_client {
                 let bank = bank.clone();
                 let log = log.clone();
-                tm.atomic(move |ctx| {
+                tm.atomic_infallible(move |ctx| {
                     let chunk = &log[chunk_idx * cfg.chunk_size..(chunk_idx + 1) * cfg.chunk_size];
                     for op in chunk {
                         let v = apply_op(ctx, &bank, &cfg, op)?;
@@ -237,8 +236,7 @@ pub fn toplevel_replay(cfg: &BankConfig, clients: usize) -> RunResult {
                         }
                     }
                     Ok(())
-                })
-                .unwrap();
+                });
             }
         }),
     )

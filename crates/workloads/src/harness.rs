@@ -72,6 +72,10 @@ impl RunResult {
             ("internal_abort_rate", Json::F64(self.internal_abort_rate())),
             ("tm", counters(self.tm.fields())),
             ("stm", counters(self.stm.fields().to_vec())),
+            // Surfaced at top level (not only inside `trace`) so `wtf-check`
+            // can reject truncated-trace results without digging into the
+            // summary shape.
+            ("dropped_events", self.trace.events_dropped.into()),
             ("trace", self.trace.to_json()),
         ])
     }
@@ -126,7 +130,15 @@ pub fn run_virtual(spec: &RunSpec, client: ClientFn) -> RunResult {
 /// the summary embedded in the [`RunResult`].
 pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<Tracer>) {
     let clock = Clock::virtual_time();
-    let tracer = Tracer::new(spec.trace);
+    // `WTF_CHECK=1`: every traced run is re-verified by the offline
+    // serializability checker after it finishes. Checking needs the full
+    // event stream, so lanes get a much deeper ring than the default.
+    let check = check_enabled() && spec.trace != TraceLevel::Off;
+    let tracer = if check {
+        Tracer::with_capacity(spec.trace, 1 << 18)
+    } else {
+        Tracer::new(spec.trace)
+    };
     let spec2 = spec.clone();
     let t2 = Arc::clone(&tracer);
     let (tm_stats, stm_stats) = clock.enter(move || {
@@ -169,7 +181,17 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         stm: stm_stats,
         trace: tracer.summary(),
     };
+    if check {
+        match wtf_check::HistoryChecker::from_tracer(&tracer).verify() {
+            Ok(report) => eprintln!("wtf-check: {}", report.summary()),
+            Err(e) => panic!("WTF_CHECK failed for this run: {e}"),
+        }
+    }
     (result, tracer)
+}
+
+fn check_enabled() -> bool {
+    std::env::var("WTF_CHECK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Deterministic xorshift64* generator for workload decisions. We keep a

@@ -132,7 +132,7 @@ pub fn futures_run(cfg: &SyntheticConfig, semantics: Semantics, clients: usize) 
             for _ in 0..cfg.txs_per_client {
                 let arrays = arrays.clone();
                 let tx_seed = seeder.next_u64();
-                tm.atomic(move |ctx| {
+                tm.atomic_infallible(move |ctx| {
                     let mut futs = Vec::with_capacity(cfg.tasks_per_tx);
                     for t in 0..cfg.tasks_per_tx {
                         let arrays = arrays.clone();
@@ -146,8 +146,7 @@ pub fn futures_run(cfg: &SyntheticConfig, semantics: Semantics, clients: usize) 
                         ctx.evaluate(f)?;
                     }
                     Ok(())
-                })
-                .unwrap();
+                });
             }
         }),
     )
@@ -180,7 +179,7 @@ pub fn toplevel_run(cfg: &SyntheticConfig, clients: usize, grouped: bool) -> Run
                 for _ in 0..cfg.txs_per_client {
                     let arrays = arrays.clone();
                     let seed = seeder.next_u64();
-                    tm.atomic(move |ctx| {
+                    tm.atomic_infallible(move |ctx| {
                         let mut tx_rng = Xorshift::new(seed);
                         for t in 0..cfg.tasks_per_tx {
                             // The unparallelized transaction performs the
@@ -193,18 +192,16 @@ pub fn toplevel_run(cfg: &SyntheticConfig, clients: usize, grouped: bool) -> Run
                             run_task(ctx, &arrays, &cfg, &mut rng)?;
                         }
                         Ok(())
-                    })
-                    .unwrap();
+                    });
                 }
             } else {
                 for _ in 0..cfg.txs_per_client * cfg.tasks_per_tx {
                     let arrays = arrays.clone();
                     let seed = seeder.next_u64();
-                    tm.atomic(move |ctx| {
+                    tm.atomic_infallible(move |ctx| {
                         let mut rng = Xorshift::new(seed);
                         run_task(ctx, &arrays, &cfg, &mut rng)
-                    })
-                    .unwrap();
+                    });
                 }
             }
         }),
@@ -377,7 +374,7 @@ pub fn conflict_prone(cfg: &ConflictConfig, semantics: Semantics, clients: usize
             for _ in 0..cfg.txs_per_client {
                 let arrays = arrays.clone();
                 let tx_seed = seeder.next_u64();
-                tm.atomic(move |ctx| {
+                tm.atomic_infallible(move |ctx| {
                     let mut rng = Xorshift::new(tx_seed);
                     let mut futs = Vec::with_capacity(cfg.futures_per_tx);
                     for t in 0..cfg.futures_per_tx {
@@ -400,8 +397,7 @@ pub fn conflict_prone(cfg: &ConflictConfig, semantics: Semantics, clients: usize
                         ctx.evaluate(f)?;
                     }
                     Ok(())
-                })
-                .unwrap();
+                });
             }
         }),
     )

@@ -233,7 +233,7 @@ pub fn vacation_futures(
                 let customer = rng.below(cfg.customers);
                 let agency = agency.clone();
                 if kind < cfg.user_percent {
-                    tm.atomic(move |ctx| {
+                    tm.atomic_infallible(move |ctx| {
                         let mut picks: [Option<(usize, i64)>; 3] = [None; 3];
                         let per_chunk = cfg.queries_per_tx / cfg.chunks_per_tx;
                         let mut in_flight = Vec::with_capacity(cfg.futures_per_tx);
@@ -265,17 +265,14 @@ pub fn vacation_futures(
                             in_flight.remove(i);
                         }
                         reserve(ctx, &agency, customer, &picks)
-                    })
-                    .unwrap();
+                    });
                 } else if kind < cfg.user_percent + (100 - cfg.user_percent) / 2 {
-                    tm.atomic(move |ctx| delete_customer(ctx, &agency, customer))
-                        .unwrap();
+                    tm.atomic_infallible(move |ctx| delete_customer(ctx, &agency, customer));
                 } else {
-                    tm.atomic(move |ctx| {
+                    tm.atomic_infallible(move |ctx| {
                         let mut urng = Xorshift::new(tx_seed);
                         update_tables(ctx, &agency, &cfg, &mut urng)
-                    })
-                    .unwrap();
+                    });
                 }
             }
         }),
@@ -307,7 +304,7 @@ pub fn vacation_toplevel(cfg: &VacationConfig, clients: usize) -> RunResult {
                 let customer = rng.below(cfg.customers);
                 let agency = agency.clone();
                 if kind < cfg.user_percent {
-                    tm.atomic(move |ctx| {
+                    tm.atomic_infallible(move |ctx| {
                         let mut picks: [Option<(usize, i64)>; 3] = [None; 3];
                         let per_chunk = cfg.queries_per_tx / cfg.chunks_per_tx;
                         for fidx in 0..cfg.chunks_per_tx {
@@ -319,17 +316,14 @@ pub fn vacation_toplevel(cfg: &VacationConfig, clients: usize) -> RunResult {
                             merge_picks(&mut picks, &best);
                         }
                         reserve(ctx, &agency, customer, &picks)
-                    })
-                    .unwrap();
+                    });
                 } else if kind < cfg.user_percent + (100 - cfg.user_percent) / 2 {
-                    tm.atomic(move |ctx| delete_customer(ctx, &agency, customer))
-                        .unwrap();
+                    tm.atomic_infallible(move |ctx| delete_customer(ctx, &agency, customer));
                 } else {
-                    tm.atomic(move |ctx| {
+                    tm.atomic_infallible(move |ctx| {
                         let mut urng = Xorshift::new(tx_seed);
                         update_tables(ctx, &agency, &cfg, &mut urng)
-                    })
-                    .unwrap();
+                    });
                 }
             }
         }),
