@@ -1,0 +1,598 @@
+//! # wtf-backend — the STM substrate trait
+//!
+//! The paper's futures machinery (WO/SO top-levels, §3.4 polygraph
+//! acceptance) is defined over an *abstract* STM: a store of versioned
+//! boxes with snapshot reads and validate-and-publish commits. This crate
+//! extracts that surface from the multi-versioned `wtf-mvstm` into the
+//! [`StmBackend`] trait so `wtf-core`, the harness, and the correctness
+//! tooling can run over any conforming backend — today `mvstm`
+//! (multi-versioned, JVSTM-style) and `tl2` (single-version,
+//! lock-striped, lazy-versioning; see `crates/tl2`).
+//!
+//! The contract every backend must honour, because the offline checker
+//! (`wtf-check`) re-derives commit/abort decisions from traces alone:
+//!
+//! * commit versions are globally unique tickets, so `version -> writer`
+//!   is a bijection invertible from [`StmInstall`](wtf_trace::EventKind)
+//!   events;
+//! * a failed read or commit ([`Err`]) is only ever reported for a box
+//!   that really has a version newer than the snapshot — the checker
+//!   demands a concrete newer install to justify every abort;
+//! * read-only commits serialize at their snapshot and need no
+//!   validation;
+//! * the same serialization records (`CommitRead` / `TxnCommit` /
+//!   `StmInstall`) are emitted by every backend, so the checker and abort
+//!   attribution work unchanged.
+//!
+//! The multi-version/single-version split shows up in exactly one place:
+//! [`BackendBox::read_at`] is infallible on `mvstm` (old versions are
+//! retained) and fallible on `tl2` (a box overwritten since the snapshot
+//! has nothing left to read) — which is why the signature is fallible and
+//! callers must treat `Err` as a conflict abort.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use wtf_mvstm::raw::{self, BoxBody};
+use wtf_mvstm::{
+    downcast_value, Aborted, BoxId, FxHashMap, Stm, StmError, StmStatsSnapshot, TxResult, TxValue,
+    Value,
+};
+use wtf_trace::{EventKind, Tracer};
+
+/// Which STM substrate a run executes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Multi-versioned JVSTM-style boxes (`wtf-mvstm`): snapshot reads
+    /// never fail, read-only transactions never validate, GC prunes
+    /// version chains.
+    Mvstm,
+    /// Single-version lock-striped TL2 (`wtf-tl2`): per-stripe versioned
+    /// lock words, read-version validation, write-back under striped
+    /// locks. No version chains, no GC — but reads can conflict.
+    Tl2,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in comparison order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Mvstm, BackendKind::Tl2];
+
+    /// Stable lowercase name (the `WTF_BACKEND` value and the label used
+    /// in `results/*.json` rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Mvstm => "mvstm",
+            BackendKind::Tl2 => "tl2",
+        }
+    }
+
+    /// Parses a `WTF_BACKEND` value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "mvstm" => Some(BackendKind::Mvstm),
+            "tl2" => Some(BackendKind::Tl2),
+            _ => None,
+        }
+    }
+
+    /// Backend selected by an active [`with_backend`] scope if any, else
+    /// the `WTF_BACKEND` environment variable (default: `mvstm`). Panics
+    /// on an unknown value — a silently misspelled backend would
+    /// invalidate a whole comparative run.
+    pub fn from_env() -> BackendKind {
+        use std::sync::atomic::Ordering;
+        match BACKEND_OVERRIDE.load(Ordering::SeqCst) {
+            0 => match std::env::var("WTF_BACKEND") {
+                Ok(v) => BackendKind::parse(&v)
+                    .unwrap_or_else(|| panic!("WTF_BACKEND={v:?}: expected \"mvstm\" or \"tl2\"")),
+                Err(_) => BackendKind::Mvstm,
+            },
+            i => BackendKind::ALL[i - 1],
+        }
+    }
+}
+
+/// Scoped override consulted by [`BackendKind::from_env`] ahead of
+/// `WTF_BACKEND`: `0` = none, else `1 + index into BackendKind::ALL`.
+static BACKEND_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+/// Serializes [`with_backend`] scopes (overrides must not interleave
+/// when tests sweep backends from parallel test threads).
+static BACKEND_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` with every [`BackendKind::from_env`] call in scope pinned to
+/// `kind` — so TMs and run specs built inside (which default their
+/// substrate from the environment) land on `kind` without mutating
+/// process environment variables. Scopes are serialized process-wide;
+/// tests and figure binaries use this to sweep workloads across
+/// substrates.
+pub fn with_backend<T>(kind: BackendKind, f: impl FnOnce() -> T) -> T {
+    use std::sync::atomic::Ordering;
+    let _guard = BACKEND_OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let idx = BackendKind::ALL.iter().position(|k| *k == kind).unwrap();
+    BACKEND_OVERRIDE.store(idx + 1, Ordering::SeqCst);
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            BACKEND_OVERRIDE.store(0, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+    let _reset = Reset;
+    f()
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An untyped transactional box owned by some backend.
+///
+/// The typed facade is [`TBox`]; the runtime (`wtf-core`) holds
+/// `Arc<dyn BackendBox>` in its read/write sets and hands them back to
+/// [`StmBackend::commit_attributed`], which downcasts via
+/// [`BackendBox::as_any`] to recover its own concrete box type.
+pub trait BackendBox: Send + Sync {
+    /// This box's id (unique within its backend instance).
+    fn id(&self) -> BoxId;
+
+    /// Reads the value visible at `snapshot`, returning
+    /// `(observed_version, value)`.
+    ///
+    /// `Err(Conflict)` means the box's current version is newer than
+    /// `snapshot` and the old value is no longer available (single-version
+    /// backends). Implementations must never fail spuriously: an `Err`
+    /// must always be justified by a real install newer than `snapshot`
+    /// on *this* box, because the offline checker verifies exactly that
+    /// for every abort the runtime charges.
+    fn read_at(&self, snapshot: u64) -> Result<(u64, Value), StmError>;
+
+    /// The latest committed value, outside any transaction (benchmark
+    /// inspection; not serializable with respect to anything).
+    fn read_latest(&self) -> Value;
+
+    /// Concrete-type escape hatch for the owning backend's commit path.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A begin-snapshot acquired from a backend.
+///
+/// Multi-versioned backends register the snapshot against GC and release
+/// it on drop (the `hold`); single-version backends have nothing to
+/// retain and pass `None`.
+pub struct BackendSnapshot {
+    version: u64,
+    _hold: Option<Box<dyn Any + Send + Sync>>,
+}
+
+impl BackendSnapshot {
+    pub fn new(version: u64, hold: Option<Box<dyn Any + Send + Sync>>) -> BackendSnapshot {
+        BackendSnapshot {
+            version,
+            _hold: hold,
+        }
+    }
+
+    /// The version this snapshot reads at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl std::fmt::Debug for BackendSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BackendSnapshot({})", self.version)
+    }
+}
+
+/// The abstract STM substrate `wtf-core` layers transactional futures on.
+///
+/// Mirrors the slice of `wtf-mvstm`'s API the runtime actually consumes:
+/// box creation, snapshot acquisition, the attributed validate-and-publish
+/// commit, stats and trace hooks. Stats mutation goes through `note_*`
+/// hooks because each backend owns its counters privately.
+pub trait StmBackend: Send + Sync {
+    /// Which substrate this is (selection, labels, reports).
+    fn kind(&self) -> BackendKind;
+
+    /// The tracer this backend reports into.
+    fn tracer(&self) -> &Arc<Tracer>;
+
+    /// Current published version clock.
+    fn clock(&self) -> u64;
+
+    /// Counter snapshot (commits, aborts, ...). Fields a backend has no
+    /// analogue for (e.g. `versions_pruned` on a single-version backend)
+    /// stay zero.
+    fn stats(&self) -> StmStatsSnapshot;
+
+    /// Counts one transaction abort (conflict retry).
+    fn note_abort(&self);
+
+    /// Counts one read-only commit. Read-only transactions serialize at
+    /// their snapshot with no validation on every backend, so there is no
+    /// commit call to count them in.
+    fn note_read_only_commit(&self);
+
+    /// Ablation knob: disable background reclamation, where the backend
+    /// has any (no-op on single-version backends).
+    fn set_gc_enabled(&self, enabled: bool);
+
+    /// Creates a box initialized to `value`, stamped at the current clock.
+    fn new_box(&self, value: Value) -> Arc<dyn BackendBox>;
+
+    /// Begins a snapshot at the current clock.
+    fn acquire_snapshot(&self) -> BackendSnapshot;
+
+    /// Validates `reads` against `snapshot` and publishes `writes` at a
+    /// freshly reserved version (returned). On a validation failure,
+    /// returns the id of the box whose check failed — already charged to
+    /// the tracer's conflict-hotspot report — and installs nothing.
+    ///
+    /// Must emit one `StmInstall` event per written box at `Full` trace
+    /// detail; `writes` must be non-empty (read-only commits never reach
+    /// the backend).
+    fn commit_attributed(
+        &self,
+        snapshot: u64,
+        reads: &[Arc<dyn BackendBox>],
+        writes: Vec<(Arc<dyn BackendBox>, Value)>,
+    ) -> Result<u64, BoxId>;
+}
+
+// ---------------------------------------------------------------------------
+// The mvstm adapter.
+// ---------------------------------------------------------------------------
+
+/// [`BackendBox`] over an mvstm versioned box.
+pub struct MvBox {
+    body: Arc<BoxBody>,
+}
+
+impl MvBox {
+    pub fn new(body: Arc<BoxBody>) -> MvBox {
+        MvBox { body }
+    }
+
+    /// The underlying mvstm body (the adapter's commit path needs it).
+    pub fn body(&self) -> &Arc<BoxBody> {
+        &self.body
+    }
+}
+
+impl BackendBox for MvBox {
+    fn id(&self) -> BoxId {
+        raw::id_of(&self.body)
+    }
+
+    fn read_at(&self, snapshot: u64) -> Result<(u64, Value), StmError> {
+        // Multi-versioning: the snapshot's version is always retained
+        // while the snapshot is live, so reads cannot fail.
+        Ok(raw::read_at(&self.body, snapshot))
+    }
+
+    fn read_latest(&self) -> Value {
+        raw::read_at(&self.body, u64::MAX).1
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// [`StmBackend`] over the multi-versioned `wtf-mvstm` substrate.
+pub struct MvstmBackend {
+    stm: Stm,
+}
+
+impl MvstmBackend {
+    pub fn new(stm: Stm) -> MvstmBackend {
+        MvstmBackend { stm }
+    }
+
+    pub fn with_tracer(tracer: Arc<Tracer>) -> MvstmBackend {
+        MvstmBackend::new(Stm::with_tracer(tracer))
+    }
+
+    /// The wrapped STM (explorers and tests that exercise the native
+    /// mvstm API go through this).
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+}
+
+fn mv_body(b: &Arc<dyn BackendBox>) -> Arc<BoxBody> {
+    b.as_any()
+        .downcast_ref::<MvBox>()
+        .expect("box from a different backend passed to MvstmBackend")
+        .body()
+        .clone()
+}
+
+impl StmBackend for MvstmBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mvstm
+    }
+
+    fn tracer(&self) -> &Arc<Tracer> {
+        self.stm.tracer()
+    }
+
+    fn clock(&self) -> u64 {
+        self.stm.clock()
+    }
+
+    fn stats(&self) -> StmStatsSnapshot {
+        self.stm.stats()
+    }
+
+    fn note_abort(&self) {
+        raw::note_abort(&self.stm);
+    }
+
+    fn note_read_only_commit(&self) {
+        raw::note_read_only_commit(&self.stm);
+    }
+
+    fn set_gc_enabled(&self, enabled: bool) {
+        self.stm.set_gc_enabled(enabled);
+    }
+
+    fn new_box(&self, value: Value) -> Arc<dyn BackendBox> {
+        Arc::new(MvBox::new(raw::new_box_body(&self.stm, value)))
+    }
+
+    fn acquire_snapshot(&self) -> BackendSnapshot {
+        let snap = raw::acquire_snapshot(&self.stm);
+        BackendSnapshot::new(snap.version(), Some(Box::new(snap)))
+    }
+
+    fn commit_attributed(
+        &self,
+        snapshot: u64,
+        reads: &[Arc<dyn BackendBox>],
+        writes: Vec<(Arc<dyn BackendBox>, Value)>,
+    ) -> Result<u64, BoxId> {
+        let read_bodies: Vec<Arc<BoxBody>> = reads.iter().map(mv_body).collect();
+        let writes: Vec<(Arc<BoxBody>, Value)> =
+            writes.into_iter().map(|(b, v)| (mv_body(&b), v)).collect();
+        raw::commit_attributed(&self.stm, snapshot, read_bodies.iter(), writes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The typed box facade.
+// ---------------------------------------------------------------------------
+
+/// The typed, clonable handle over a backend box — the backend-agnostic
+/// analogue of `wtf_mvstm::VBox` (and re-exported as `VBox` by
+/// `wtf-core`).
+pub struct TBox<T> {
+    body: Arc<dyn BackendBox>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for TBox<T> {
+    fn clone(&self) -> Self {
+        TBox {
+            body: self.body.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: TxValue> TBox<T> {
+    /// Creates a box initialized to `value` on `backend`.
+    pub fn new_on(backend: &dyn StmBackend, value: T) -> TBox<T> {
+        TBox::from_body(backend.new_box(Arc::new(value)))
+    }
+
+    /// Wraps an untyped body. The caller asserts the stored type is `T`
+    /// (reads panic on mismatch, exactly like `VBox`).
+    pub fn from_body(body: Arc<dyn BackendBox>) -> TBox<T> {
+        TBox {
+            body,
+            _marker: PhantomData,
+        }
+    }
+
+    /// This box's id.
+    pub fn id(&self) -> BoxId {
+        self.body.id()
+    }
+
+    /// The untyped body (runtime internals).
+    pub fn body(&self) -> &Arc<dyn BackendBox> {
+        &self.body
+    }
+
+    /// Reads the latest committed value, outside any transaction.
+    pub fn read_latest(&self) -> T {
+        downcast_value(&self.body.read_latest())
+    }
+}
+
+impl<T> std::fmt::Debug for TBox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TBox({:?})", self.body.id())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The stepwise transaction (explorers, differential tests, plain atomics).
+// ---------------------------------------------------------------------------
+
+/// An in-flight backend transaction, mirroring `wtf_mvstm::Txn` but
+/// generic over the substrate. Driven stepwise by `wtf-check`'s schedule
+/// explorers and wrapped by [`atomic`] for retry-until-commit use.
+///
+/// Unlike the mvstm-native `Txn`, [`BackendTxn::read`] is fallible: on a
+/// single-version backend a read of a box overwritten since the snapshot
+/// returns `Err(Conflict)`, which callers must treat as an abort of the
+/// whole transaction (its snapshot is no longer readable).
+pub struct BackendTxn<'s> {
+    backend: &'s dyn StmBackend,
+    snapshot: BackendSnapshot,
+    /// Box plus the version the first read observed — captured at read
+    /// time because that is what the commit-time serialization record
+    /// re-emits (see `wtf_mvstm::Txn` for the GC argument).
+    read_set: FxHashMap<BoxId, (Arc<dyn BackendBox>, u64)>,
+    write_set: FxHashMap<BoxId, (Arc<dyn BackendBox>, Value)>,
+}
+
+impl<'s> BackendTxn<'s> {
+    pub fn begin(backend: &'s dyn StmBackend) -> BackendTxn<'s> {
+        BackendTxn {
+            snapshot: backend.acquire_snapshot(),
+            backend,
+            read_set: FxHashMap::default(),
+            write_set: FxHashMap::default(),
+        }
+    }
+
+    /// The snapshot version this transaction reads at.
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// Transactional read. Sees the transaction's own writes, else the
+    /// begin snapshot. `Err(Conflict)` (single-version backends only)
+    /// means this transaction can no longer commit — abort it.
+    pub fn read<T: TxValue>(&mut self, tbox: &TBox<T>) -> TxResult<T> {
+        let id = tbox.id();
+        if let Some((_, v)) = self.write_set.get(&id) {
+            return Ok(downcast_value(v));
+        }
+        let (version, value) = tbox.body().read_at(self.snapshot.version())?;
+        self.backend
+            .tracer()
+            .record_full(EventKind::StmRead, id.0, version);
+        self.read_set
+            .entry(id)
+            .or_insert_with(|| (tbox.body().clone(), version));
+        Ok(downcast_value(&value))
+    }
+
+    /// Transactional write: buffered privately until commit.
+    pub fn write<T: TxValue>(&mut self, tbox: &TBox<T>, value: T) -> TxResult<()> {
+        self.write_set
+            .insert(tbox.id(), (tbox.body().clone(), Arc::new(value)));
+        Ok(())
+    }
+
+    /// Explicitly aborts: [`atomic`] will *not* retry.
+    pub fn abort<T>(&mut self) -> TxResult<T> {
+        Err(StmError::UserAbort)
+    }
+
+    /// Validates and publishes. A `Conflict` outside [`atomic`]'s retry
+    /// loop (i.e. from the schedule explorers) is a final abort.
+    pub fn commit(self) -> Result<(), StmError> {
+        let backend = self.backend;
+        let snapshot = self.snapshot.version();
+        if self.write_set.is_empty() {
+            // Read-only: every read was validated against the snapshot
+            // (mvstm by multi-versioning, tl2 per-read), so the
+            // transaction serializes at its snapshot with no commit call.
+            backend.note_read_only_commit();
+            Self::record_commit(backend, &self.read_set, snapshot, snapshot);
+            return Ok(());
+        }
+        let reads: Vec<Arc<dyn BackendBox>> =
+            self.read_set.values().map(|(b, _)| b.clone()).collect();
+        let writes: Vec<(Arc<dyn BackendBox>, Value)> = self.write_set.into_values().collect();
+        let version = backend
+            .commit_attributed(snapshot, &reads, writes)
+            .map_err(|_| StmError::Conflict)?;
+        Self::record_commit(backend, &self.read_set, version, snapshot);
+        Ok(())
+    }
+
+    /// The commit-time serialization record: sorted `CommitRead`s followed
+    /// by the `TxnCommit` marker, contiguous on the committing thread's
+    /// lane (the shape `wtf-check` inverts).
+    fn record_commit(
+        backend: &dyn StmBackend,
+        read_set: &FxHashMap<BoxId, (Arc<dyn BackendBox>, u64)>,
+        version: u64,
+        snapshot: u64,
+    ) {
+        let tracer = backend.tracer();
+        let mut reads: Vec<(BoxId, u64)> = read_set
+            .iter()
+            .map(|(id, (_, observed))| (*id, *observed))
+            .collect();
+        reads.sort_unstable();
+        for (id, observed) in reads {
+            tracer.record_full(EventKind::CommitRead, id.0, observed);
+        }
+        tracer.record_full(EventKind::TxnCommit, version, snapshot);
+    }
+}
+
+/// Runs `f` as a transaction on `backend`, retrying on conflicts until it
+/// commits — the backend-generic analogue of `Stm::atomic`.
+pub fn atomic<T>(
+    backend: &dyn StmBackend,
+    mut f: impl FnMut(&mut BackendTxn) -> TxResult<T>,
+) -> Result<T, Aborted> {
+    loop {
+        let mut txn = BackendTxn::begin(backend);
+        match f(&mut txn) {
+            Ok(value) => match txn.commit() {
+                Ok(()) => return Ok(value),
+                Err(StmError::Conflict) => backend.note_abort(),
+                Err(StmError::UserAbort) => return Err(Aborted),
+            },
+            Err(StmError::Conflict) => backend.note_abort(),
+            Err(StmError::UserAbort) => return Err(Aborted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_env_values() {
+        assert_eq!(BackendKind::parse("mvstm"), Some(BackendKind::Mvstm));
+        assert_eq!(BackendKind::parse("TL2"), Some(BackendKind::Tl2));
+        assert_eq!(BackendKind::parse(""), Some(BackendKind::Mvstm));
+        assert_eq!(BackendKind::parse("nope"), None);
+        assert_eq!(BackendKind::Tl2.name(), "tl2");
+    }
+
+    #[test]
+    fn mvstm_adapter_round_trips() {
+        let backend = MvstmBackend::with_tracer(Tracer::disabled());
+        let b: TBox<i64> = TBox::new_on(&backend, 5);
+        assert_eq!(b.read_latest(), 5);
+        let b2 = b.clone();
+        let seen = atomic(&backend, move |tx| {
+            let v = tx.read(&b2)?;
+            tx.write(&b2, v + 1)?;
+            Ok(v)
+        })
+        .unwrap();
+        assert_eq!(seen, 5);
+        assert_eq!(b.read_latest(), 6);
+        let stats = backend.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.read_only_commits, 0);
+    }
+
+    #[test]
+    fn read_only_commit_counts() {
+        let backend = MvstmBackend::with_tracer(Tracer::disabled());
+        let b: TBox<u64> = TBox::new_on(&backend, 3);
+        let b2 = b.clone();
+        let v = atomic(&backend, move |tx| tx.read(&b2)).unwrap();
+        assert_eq!(v, 3);
+        let stats = backend.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.read_only_commits, 1);
+    }
+}

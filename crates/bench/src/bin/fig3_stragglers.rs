@@ -9,8 +9,8 @@
 //! stream around it.
 
 use std::sync::Arc;
-use wtf_bench::{emit_report, f3, table_row, FigReport};
-use wtf_core::{FutureTm, Semantics, TxFuture};
+use wtf_bench::{emit_report, f3, table_header, table_row, FigReport};
+use wtf_core::{with_backend, BackendKind, FutureTm, Semantics, TxFuture};
 use wtf_trace::{chrome, Json, Tracer};
 use wtf_vclock::Clock;
 
@@ -138,6 +138,23 @@ fn main() {
         "(straggler-bound lower bound ≈ {}, WO achieved {wo})",
         ideal.max(BASE_WORK * STRAGGLER_FACTOR)
     );
+    // Comparative substrate rows: the WO pipeline re-run on each backend.
+    // This scenario is one uncontended transaction, so the substrates
+    // should agree on the makespan to within commit-path cost noise.
+    println!();
+    table_header(
+        "backend comparison (WO pipeline per substrate)",
+        &["backend", "makespan"],
+    );
+    for kind in BackendKind::ALL {
+        let (_, makespan, _) = with_backend(kind, || run(Semantics::WO_GAC, false));
+        table_row(&[&kind.name(), &makespan]);
+        report.row(vec![
+            ("system", kind.name().into()),
+            ("mode", "wo".into()),
+            ("makespan", makespan.into()),
+        ]);
+    }
     report.emit();
 }
 

@@ -60,5 +60,9 @@ fn main() {
             );
         }
     }
+    report.backend_comparison(
+        &[("tx_length", 1_000usize.into()), ("iter", 1_000u64.into())],
+        || read_only(&cfg(1_000, 1_000), CLIENTS),
+    );
     report.emit();
 }

@@ -68,5 +68,13 @@ fn main() {
             );
         }
     }
+    report.backend_comparison(
+        &[
+            ("tops", 6usize.into()),
+            ("futures", 8usize.into()),
+            ("reads_per_future", 100usize.into()),
+        ],
+        || contended(&cfg(100, 8, 2), Semantics::WO_GAC, 6),
+    );
     report.emit();
 }

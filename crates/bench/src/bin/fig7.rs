@@ -88,5 +88,13 @@ fn main() {
             );
         }
     }
+    report.backend_comparison(
+        &[
+            ("contention", "high".into()),
+            ("hot_spots", 100usize.into()),
+            ("threads", 8usize.into()),
+        ],
+        || conflict_prone(&cfg(100, 8, TOTAL_TASKS / 8), Semantics::WO_GAC, 1),
+    );
     report.emit();
 }

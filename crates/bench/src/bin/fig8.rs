@@ -68,5 +68,9 @@ fn main() {
             );
         }
     }
+    report.backend_comparison(
+        &[("update_percent", 50u64.into()), ("threads", 8usize.into())],
+        || futures_replay(&cfg(50, 8), Semantics::WO_GAC, EvalPolicy::OutOfOrder, 1),
+    );
     report.emit();
 }

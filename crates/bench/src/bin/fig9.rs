@@ -108,5 +108,9 @@ fn main() {
         1.0,
         &seq,
     );
+    report.backend_comparison(
+        &[("tops", 2usize.into()), ("futures", 4usize.into())],
+        || vacation_futures(&cfg(4, TOTAL_TXS / 2), Semantics::WO_GAC, false, 2),
+    );
     report.emit();
 }

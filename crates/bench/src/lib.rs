@@ -22,6 +22,7 @@ pub mod diff;
 
 use std::fmt::Display;
 use std::path::PathBuf;
+use wtf_core::{with_backend, BackendKind};
 use wtf_trace::Json;
 use wtf_workloads::RunResult;
 
@@ -173,6 +174,47 @@ impl FigReport {
         fields.push(("speedup", Json::F64(speedup)));
         fields.push(("result", result.to_json()));
         self.row(fields);
+    }
+
+    /// The comparative-substrate section every figure binary appends:
+    /// one representative configuration of the figure re-run on every
+    /// [`BackendKind`] (via [`with_backend`], so the whole TM stack under
+    /// `run` lands on that substrate), emitted as [`FigReport::system_row`]s
+    /// labelled by backend name with speedups relative to the first
+    /// backend (mvstm). This puts an mvstm/tl2 comparison into every
+    /// `results/*.json` regardless of how `WTF_BACKEND` was set for the
+    /// main sweep.
+    pub fn backend_comparison(&mut self, params: &[(&str, Json)], run: impl Fn() -> RunResult) {
+        println!();
+        table_header(
+            "backend comparison (one representative configuration per substrate)",
+            &[
+                "backend",
+                "makespan",
+                "speedup_vs_mvstm",
+                "top_abort_rate",
+                "internal_abort_rate",
+            ],
+        );
+        let mut base: Option<RunResult> = None;
+        for kind in BackendKind::ALL {
+            let r = with_backend(kind, &run);
+            let speedup = match &base {
+                None => 1.0,
+                Some(b) => r.speedup_vs(b),
+            };
+            table_row(&[
+                &kind.name(),
+                &r.makespan,
+                &f3(speedup),
+                &f3(r.top_abort_rate()),
+                &f3(r.internal_abort_rate()),
+            ]);
+            self.system_row(kind.name(), params.to_vec(), speedup, &r);
+            if base.is_none() {
+                base = Some(r);
+            }
+        }
     }
 
     /// The assembled report document.

@@ -2,27 +2,33 @@
 //! bounded space of interleavings and run every resulting trace through
 //! the [`HistoryChecker`](crate::HistoryChecker).
 //!
-//! Two explorers, matching the two layers of the stack:
+//! Two explorer families, matching the two layers of the stack:
 //!
-//! * [`explore_mvstm`] — step-level interleaving of plain `mvstm`
-//!   transactions. Each thread's program is a fixed sequence of
+//! * [`explore_mvstm`] / [`explore_backend`] — step-level interleaving of
+//!   plain STM transactions. Each thread's program is a fixed sequence of
 //!   [`StepOp`]s; the explorer enumerates *every* multiset permutation of
-//!   the programs' steps and executes each one against a fresh [`Stm`]
-//!   via the stepwise [`Stm::begin_txn`] API. A `Conflict` on commit is
-//!   final (no retry), so each schedule produces exactly one history.
-//!   Everything runs on one OS thread — a commit is a single schedule
-//!   step, which both makes schedules exactly reproducible and keeps each
-//!   transaction's serialization record contiguous on one trace lane.
-//! * [`explore_core_delays`] — the `wtf-core` futures path cannot be
-//!   single-stepped from outside (worker threads run future bodies), so
-//!   it is perturbed instead: under the deterministic virtual clock, a
-//!   fixed two-client submit/evaluate scenario is replayed across a grid
-//!   of injected [`Clock::advance`] delays. Distinct delay vectors yield
-//!   distinct (but each fully deterministic) schedules through the
+//!   the programs' steps and executes each one against a fresh substrate.
+//!   `explore_mvstm` drives mvstm's native stepwise [`Stm::begin_txn`]
+//!   API; `explore_backend` drives any [`BackendKind`] through the
+//!   backend-generic [`BackendTxn`], where *reads* can also conflict
+//!   (single-version backends fail a read of a box overwritten since the
+//!   snapshot) — a failed read is a final abort of that thread, exactly
+//!   like a failed commit. Everything runs on one OS thread — a commit is
+//!   a single schedule step, which both makes schedules exactly
+//!   reproducible and keeps each transaction's serialization record
+//!   contiguous on one trace lane.
+//! * [`explore_core_delays`] / [`explore_core_delays_on`] — the
+//!   `wtf-core` futures path cannot be single-stepped from outside
+//!   (worker threads run future bodies), so it is perturbed instead:
+//!   under the deterministic virtual clock, a fixed two-client
+//!   submit/evaluate scenario is replayed across a grid of injected
+//!   [`Clock::advance`] delays. Distinct delay vectors yield distinct
+//!   (but each fully deterministic) schedules through the
 //!   commit/doom/adoption machinery.
 
 use crate::checker::{CheckError, CheckReport, HistoryChecker};
-use wtf_core::{FutureTm, Semantics, TmConfig};
+use wtf_backend::{BackendKind, BackendTxn, TBox};
+use wtf_core::{make_backend, FutureTm, Semantics, TmConfig};
 use wtf_mvstm::{Stm, Txn, VBox};
 use wtf_trace::{TraceLevel, Tracer};
 use wtf_vclock::Clock;
@@ -184,6 +190,108 @@ fn run_one_schedule(
     Ok((check, commits, aborts))
 }
 
+/// Backend-generic sibling of [`explore_mvstm`]: runs every interleaving
+/// of `programs` through [`BackendTxn`] on the given substrate and
+/// checker-verifies each schedule's trace.
+///
+/// On a single-version backend (TL2) a [`StepOp::Read`] itself can
+/// conflict — the box was overwritten since the transaction's snapshot —
+/// which finally aborts that thread (counted in
+/// [`ExploreReport::aborts`], remaining steps skipped), so unlike mvstm a
+/// thread can die before reaching its `Commit`. Each thread still ends in
+/// exactly one terminal event per schedule: `commits + aborts` equals
+/// `threads × schedules` whenever every program ends in a `Commit`.
+pub fn explore_backend(
+    kind: BackendKind,
+    programs: &[Vec<StepOp>],
+    boxes: usize,
+) -> Result<ExploreReport, CheckError> {
+    let lens: Vec<usize> = programs.iter().map(Vec::len).collect();
+    let mut report = ExploreReport::default();
+    let mut failure: Option<CheckError> = None;
+    for_each_schedule(&lens, |schedule| {
+        if failure.is_some() {
+            return;
+        }
+        match run_one_backend_schedule(kind, programs, boxes, schedule) {
+            Ok((check, commits, aborts)) => {
+                report.schedules += 1;
+                report.commits += commits;
+                report.aborts += aborts;
+                report.events += check.events;
+            }
+            Err(e) => {
+                failure = Some(CheckError(format!(
+                    "{} schedule {:?} (thread index per step): {}",
+                    kind.name(),
+                    schedule,
+                    e.0
+                )));
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+fn run_one_backend_schedule(
+    kind: BackendKind,
+    programs: &[Vec<StepOp>],
+    boxes: usize,
+    schedule: &[usize],
+) -> Result<(CheckReport, usize, usize), CheckError> {
+    let tracer = Tracer::with_capacity(TraceLevel::Full, 1 << 12);
+    let backend = make_backend(kind, tracer.clone());
+    let backend = &*backend;
+    let vars: Vec<TBox<u64>> = (0..boxes).map(|_| TBox::new_on(backend, 0u64)).collect();
+    let mut txns: Vec<Option<BackendTxn<'_>>> = programs.iter().map(|_| None).collect();
+    let mut dead = vec![false; programs.len()];
+    let mut cursor = vec![0usize; programs.len()];
+    let (mut commits, mut aborts) = (0usize, 0usize);
+    for &t in schedule {
+        let op = programs[t][cursor[t]];
+        cursor[t] += 1;
+        if dead[t] {
+            continue; // aborted transactions skip their remaining steps
+        }
+        match op {
+            StepOp::Read(b) => {
+                let tx = txns[t].get_or_insert_with(|| BackendTxn::begin(backend));
+                if tx.read(&vars[b]).is_err() {
+                    // Single-version backends: the box moved past this
+                    // transaction's snapshot — a final abort, like a
+                    // failed commit-time validation.
+                    aborts += 1;
+                    dead[t] = true;
+                    txns[t] = None;
+                }
+            }
+            StepOp::Write(b, v) => {
+                let tx = txns[t].get_or_insert_with(|| BackendTxn::begin(backend));
+                tx.write(&vars[b], v).expect("buffered writes cannot fail");
+            }
+            StepOp::Commit => {
+                let tx = match txns[t].take() {
+                    Some(tx) => tx,
+                    None => BackendTxn::begin(backend),
+                };
+                match tx.commit() {
+                    Ok(()) => commits += 1,
+                    Err(_) => {
+                        aborts += 1;
+                        dead[t] = true;
+                    }
+                }
+            }
+        }
+    }
+    drop(txns); // release leftover snapshots before harvesting lanes
+    let check = HistoryChecker::from_tracer(&tracer).verify()?;
+    Ok((check, commits, aborts))
+}
+
 /// Delay-grid exploration of the `wtf-core` futures path.
 ///
 /// Under a fresh deterministic virtual clock per delay vector, two
@@ -201,14 +309,26 @@ pub fn explore_core_delays(
     semantics: Semantics,
     grid: &[u64],
 ) -> Result<ExploreReport, CheckError> {
+    explore_core_delays_on(BackendKind::from_env(), semantics, grid)
+}
+
+/// [`explore_core_delays`] pinned to a specific STM substrate, for
+/// side-by-side sweeps of the futures path over mvstm and TL2 regardless
+/// of `WTF_BACKEND`.
+pub fn explore_core_delays_on(
+    kind: BackendKind,
+    semantics: Semantics,
+    grid: &[u64],
+) -> Result<ExploreReport, CheckError> {
     let mut report = ExploreReport::default();
     for &d0 in grid {
         for &d1 in grid {
             for &d2 in grid {
                 for &d3 in grid {
                     let delays = [d0, d1, d2, d3];
-                    let check = run_core_scenario(semantics, delays)
-                        .map_err(|e| CheckError(format!("delays {delays:?}: {}", e.0)))?;
+                    let check = run_core_scenario(kind, semantics, delays).map_err(|e| {
+                        CheckError(format!("{} delays {delays:?}: {}", kind.name(), e.0))
+                    })?;
                     report.schedules += 1;
                     report.commits += check.committed_tops;
                     report.events += check.events;
@@ -219,13 +339,18 @@ pub fn explore_core_delays(
     Ok(report)
 }
 
-fn run_core_scenario(semantics: Semantics, delays: [u64; 4]) -> Result<CheckReport, CheckError> {
+fn run_core_scenario(
+    kind: BackendKind,
+    semantics: Semantics,
+    delays: [u64; 4],
+) -> Result<CheckReport, CheckError> {
     let clock = Clock::virtual_time();
     let tracer = Tracer::with_capacity(TraceLevel::Full, 1 << 14);
     clock.enter(|| {
         let tm = FutureTm::builder()
             .config(TmConfig::new(semantics))
             .workers(2)
+            .backend_kind(kind)
             .tracer(tracer.clone())
             .build();
         let a = tm.new_vbox(0u64);

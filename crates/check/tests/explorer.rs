@@ -2,8 +2,11 @@
 //! transaction programs — and every delay vector through the futures
 //! path — must produce a checker-clean history.
 
-use wtf_check::explore::{explore_core_delays, explore_mvstm, schedule_count, StepOp};
-use wtf_core::Semantics;
+use wtf_check::explore::{
+    explore_backend, explore_core_delays, explore_core_delays_on, explore_mvstm, schedule_count,
+    StepOp,
+};
+use wtf_core::{BackendKind, Semantics};
 use StepOp::{Commit, Read, Write};
 
 /// Two conflicting read-modify-write transactions on one box: all 20
@@ -57,6 +60,72 @@ fn explores_three_thread_mix() {
     assert!(report.commits >= 2 * report.schedules, "{report:?}");
 }
 
+/// The backend-generic explorer over mvstm must reproduce the native
+/// stepwise explorer's outcomes exactly: same schedules, same
+/// commit/abort split on every program (multi-version reads never fail,
+/// so the only difference is which API drives the steps).
+#[test]
+fn backend_explorer_matches_native_mvstm() {
+    let programs = vec![
+        vec![Read(0), Write(0, 1), Commit],
+        vec![Read(0), Write(0, 2), Commit],
+    ];
+    let native = explore_mvstm(&programs, 1).unwrap();
+    let generic = explore_backend(BackendKind::Mvstm, &programs, 1).unwrap();
+    assert_eq!(generic.schedules, native.schedules);
+    assert_eq!(generic.commits, native.commits);
+    assert_eq!(generic.aborts, native.aborts);
+}
+
+/// TL2 sweep of the two-thread RMW conflict. Under a single-version
+/// backend a thread can also die at a *read* (the box moved past its
+/// snapshot), but every thread still ends in exactly one terminal event,
+/// serial schedules still commit both, and every history verifies.
+#[test]
+fn tl2_explores_two_thread_rmw_conflict() {
+    let programs = vec![
+        vec![Read(0), Write(0, 1), Commit],
+        vec![Read(0), Write(0, 2), Commit],
+    ];
+    let report = explore_backend(BackendKind::Tl2, &programs, 1).unwrap();
+    assert_eq!(report.schedules, 20);
+    assert_eq!(report.commits + report.aborts, 40);
+    assert!(report.aborts > 0, "{report:?}");
+    assert!(report.commits > report.aborts, "{report:?}");
+}
+
+/// TL2 write skew: crossed read sets with disjoint writes must still
+/// abort one transaction in every interleaved schedule.
+#[test]
+fn tl2_explores_write_skew_shape() {
+    let programs = vec![
+        vec![Read(0), Read(1), Write(0, 1), Commit],
+        vec![Read(0), Read(1), Write(1, 1), Commit],
+    ];
+    let report = explore_backend(BackendKind::Tl2, &programs, 2).unwrap();
+    assert_eq!(report.schedules, 70);
+    assert_eq!(report.commits + report.aborts, 140);
+    assert!(report.aborts > 0);
+}
+
+/// TL2 three-thread mix. Unlike mvstm there is no multi-version
+/// guarantee for the read-only observer — it may abort when a writer
+/// overwrites a box it read under an older snapshot — so only the
+/// terminal-event invariant and checker cleanliness are asserted.
+#[test]
+fn tl2_explores_three_thread_mix() {
+    let programs = vec![
+        vec![Read(0), Write(1, 1), Commit],
+        vec![Read(1), Write(0, 1), Commit],
+        vec![Read(0), Read(1), Commit],
+    ];
+    let report = explore_backend(BackendKind::Tl2, &programs, 2).unwrap();
+    assert_eq!(report.schedules, 1680);
+    assert_eq!(report.commits + report.aborts, 3 * 1680);
+    // Serial schedules commit all three; most interleavings keep ≥2.
+    assert!(report.commits > report.aborts, "{report:?}");
+}
+
 /// Delay-grid exploration of the core futures path under the virtual
 /// clock: both the paper's most permissive (WO_GAC) and strictest (SO)
 /// semantics stay checker-clean across racy commit orderings.
@@ -66,6 +135,18 @@ fn explores_core_delay_grid() {
         let report = explore_core_delays(sem, &[0, 2_500]).unwrap();
         assert_eq!(report.schedules, 16, "{sem:?}");
         // Both clients commit in every run (doomed tops are replayed).
+        assert_eq!(report.commits, 32, "{sem:?}");
+    }
+}
+
+/// The same delay grid pinned to TL2: failed snapshot reads turn into
+/// full restarts, but every run still commits both clients and stays
+/// checker-clean.
+#[test]
+fn tl2_explores_core_delay_grid() {
+    for sem in [Semantics::WO_GAC, Semantics::SO] {
+        let report = explore_core_delays_on(BackendKind::Tl2, sem, &[0, 2_500]).unwrap();
+        assert_eq!(report.schedules, 16, "{sem:?}");
         assert_eq!(report.commits, 32, "{sem:?}");
     }
 }
@@ -96,6 +177,35 @@ fn explores_deep_configurations() {
     // Finer delay grid through the futures path.
     for sem in [Semantics::WO_GAC, Semantics::WO_LAC, Semantics::SO] {
         let report = explore_core_delays(sem, &[0, 800, 2_500]).unwrap();
+        assert_eq!(report.schedules, 81, "{sem:?}");
+    }
+}
+
+/// Wider TL2 CI configuration (scheduled deep-verify job): the full
+/// schedule spaces above swept through the single-version stepwise path,
+/// plus the finer delay grid pinned to TL2.
+#[test]
+#[ignore = "CI deep-verify: thousands of schedules"]
+fn tl2_explores_deep_configurations() {
+    let programs = vec![
+        vec![Read(0), Write(0, 1), Commit],
+        vec![Read(0), Write(0, 2), Commit],
+        vec![Read(0), Write(0, 3), Commit],
+    ];
+    let report = explore_backend(BackendKind::Tl2, &programs, 1).unwrap();
+    assert_eq!(report.schedules, 1680);
+    assert_eq!(report.commits + report.aborts, 3 * 1680);
+
+    let programs = vec![
+        vec![Read(0), Read(1), Write(0, 1), Commit],
+        vec![Read(0), Read(1), Write(1, 1), Commit],
+        vec![Read(0), Read(1), Commit],
+    ];
+    let report = explore_backend(BackendKind::Tl2, &programs, 2).unwrap();
+    assert_eq!(report.schedules, 34_650);
+
+    for sem in [Semantics::WO_GAC, Semantics::WO_LAC, Semantics::SO] {
+        let report = explore_core_delays_on(BackendKind::Tl2, sem, &[0, 800, 2_500]).unwrap();
         assert_eq!(report.schedules, 81, "{sem:?}");
     }
 }

@@ -14,8 +14,8 @@ use crate::toplevel::{run_future_body, TopLevel};
 use crate::TmInner;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use wtf_mvstm::raw;
-use wtf_mvstm::{BoxId, FxHashMap, StmError, TxResult, TxValue, VBox, Value};
+use wtf_backend::{BackendBox, TBox as VBox};
+use wtf_mvstm::{BoxId, FxHashMap, StmError, TxResult, TxValue, Value};
 use wtf_trace::EventKind;
 
 /// Execution context of one sub-transaction thread.
@@ -89,6 +89,29 @@ impl TxCtx {
         self.tm.clock.advance(iters);
     }
 
+    /// Snapshot read through the backend. On the multi-versioned substrate
+    /// this never fails; on a single-version backend (TL2) the box may
+    /// have been overwritten since our snapshot, in which case the whole
+    /// top-level incarnation is doomed: we cancel it (so the retry begins
+    /// on a fresh snapshot under a fresh top id) and record the justified
+    /// cross-top abort, exactly as a commit-time validation failure would.
+    fn global_read(&self, body: &Arc<dyn BackendBox>) -> TxResult<(u64, Value)> {
+        match body.read_at(self.top.snapshot_version()) {
+            Ok(read) => Ok(read),
+            Err(_) => {
+                let id = body.id();
+                self.tm.stats.top_aborts();
+                self.tm.tracer.charge_conflict(id.0);
+                self.tm
+                    .tracer
+                    .record(EventKind::TopConflictAbort, self.top.id, id.0);
+                crate::inspect::on_conflict_abort(&self.tm, &self.top);
+                self.top.cancel(&self.tm);
+                Err(StmError::Conflict)
+            }
+        }
+    }
+
     /// Errors out if this sub-transaction was doomed by a conflicting
     /// serialization or its top-level was cancelled.
     fn check_doom(&self) -> TxResult<()> {
@@ -135,7 +158,7 @@ impl TxCtx {
         if let Some(v) = self.node.own_write(id) {
             return Ok(downcast(&v));
         }
-        let body = raw::body_of(vbox);
+        let body = vbox.body().clone();
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -150,7 +173,7 @@ impl TxCtx {
                     v
                 }
                 None => {
-                    let (ver, v) = raw::read_at(&body, self.top.snapshot_version());
+                    let (ver, v) = self.global_read(&body)?;
                     self.node
                         .record_read(id, body.clone(), ReadOrigin::Global(ver));
                     v
@@ -175,7 +198,7 @@ impl TxCtx {
         self.charge(costs.write_cpu, 0);
         self.check_doom()?;
         self.node
-            .buffer_write(vbox.id(), raw::body_of(vbox), Arc::new(value));
+            .buffer_write(vbox.id(), vbox.body().clone(), Arc::new(value));
         Ok(())
     }
 
@@ -520,11 +543,11 @@ impl TxCtx {
             // is externalized through us.
             for (body, version) in &record.reads {
                 self.node
-                    .record_read(raw::id_of(body), body.clone(), ReadOrigin::Global(*version));
+                    .record_read(body.id(), body.clone(), ReadOrigin::Global(*version));
             }
             for (body, value) in &record.writes {
                 self.node
-                    .buffer_write(raw::id_of(body), body.clone(), value.clone());
+                    .buffer_write(body.id(), body.clone(), value.clone());
             }
             let value = core.result_value().expect("completed future has result");
             core.set_state(FutState::Adopted);
@@ -570,7 +593,7 @@ impl TxCtx {
 
     fn validate_escape_reads(&mut self, record: &EscapeRecord) -> bool {
         for (body, version) in &record.reads {
-            let id = raw::id_of(body);
+            let id = body.id();
             // Any local shadow of the box invalidates the observation.
             if self.node.own_write(id).is_some() {
                 return false;
@@ -579,9 +602,12 @@ impl TxCtx {
             if self.view.contains_key(&id) {
                 return false;
             }
-            let (cur, _) = raw::read_at(body, self.top.snapshot_version());
-            if cur != *version {
-                return false;
+            // A failed snapshot read (single-version backend, box
+            // overwritten) means the observation is certainly stale:
+            // adoption fails and the future re-executes inline.
+            match body.read_at(self.top.snapshot_version()) {
+                Ok((cur, _)) if cur == *version => {}
+                _ => return false,
             }
         }
         true

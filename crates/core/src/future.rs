@@ -5,7 +5,7 @@ use crate::graph::NodeId;
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use wtf_mvstm::raw::BoxBody;
+use wtf_backend::BackendBox;
 use wtf_mvstm::{TxResult, TxValue, Value};
 use wtf_vclock::Event;
 
@@ -44,10 +44,10 @@ impl FutState {
 /// spawning top-level's commit, for adoption-time revalidation (§4.2 GAC).
 pub struct EscapeRecord {
     /// `(box, version the future observed)` pairs.
-    pub reads: Vec<(Arc<BoxBody>, u64)>,
+    pub reads: Vec<(Arc<dyn BackendBox>, u64)>,
     /// The future's effective write-set (its subtree overlay), merged into
     /// the adopter on successful validation.
-    pub writes: Vec<(Arc<BoxBody>, Value)>,
+    pub writes: Vec<(Arc<dyn BackendBox>, Value)>,
     /// The future observed ancestor values that did not survive into the
     /// spawning transaction's committed write-set (they were shadowed by a
     /// deeper write, or the top-level was read-only): the observation can

@@ -68,7 +68,10 @@ pub use stats::{TmStats, TmStatsSnapshot};
 pub use toplevel::TopLevel;
 #[cfg(feature = "watchdog")]
 pub use watchdog::{WatchdogConfig, WatchdogHandle};
-pub use wtf_mvstm::{Aborted, BoxId, Stm, StmError, TxResult, TxValue, VBox};
+pub use wtf_backend::{
+    with_backend, BackendBox, BackendKind, BackendSnapshot, StmBackend, TBox as VBox,
+};
+pub use wtf_mvstm::{Aborted, BoxId, Stm, StmError, TxResult, TxValue};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,8 +88,18 @@ pub(crate) fn debug_enabled() -> bool {
     *ON.get_or_init(|| std::env::var_os("WTF_DEBUG").is_some())
 }
 
+/// Instantiates the STM substrate for `kind`, reporting into `tracer` —
+/// the backend-selection point behind `WTF_BACKEND` and
+/// [`FutureTmBuilder::backend_kind`].
+pub fn make_backend(kind: BackendKind, tracer: Arc<Tracer>) -> Arc<dyn StmBackend> {
+    match kind {
+        BackendKind::Mvstm => Arc::new(wtf_backend::MvstmBackend::with_tracer(tracer)),
+        BackendKind::Tl2 => Arc::new(wtf_tl2::Tl2Stm::with_tracer(tracer)),
+    }
+}
+
 pub(crate) struct TmInner {
-    pub(crate) stm: Stm,
+    pub(crate) stm: Arc<dyn StmBackend>,
     pub(crate) clock: Clock,
     pool: Mutex<Option<Arc<TaskPool>>>,
     pub(crate) cfg: TmConfig,
@@ -150,7 +163,8 @@ impl TmInner {
 pub struct FutureTmBuilder {
     cfg: TmConfig,
     clock: Option<Clock>,
-    stm: Option<Stm>,
+    stm: Option<Arc<dyn StmBackend>>,
+    backend_kind: Option<BackendKind>,
     workers: usize,
     tracer: Option<Arc<Tracer>>,
 }
@@ -176,7 +190,23 @@ impl FutureTmBuilder {
     /// Share an existing STM instance (e.g. with plain `Stm::atomic`
     /// baseline transactions).
     pub fn stm(mut self, stm: Stm) -> Self {
-        self.stm = Some(stm);
+        self.stm = Some(Arc::new(wtf_backend::MvstmBackend::new(stm)));
+        self
+    }
+
+    /// Share an existing backend instance directly.
+    pub fn backend(mut self, backend: Arc<dyn StmBackend>) -> Self {
+        self.stm = Some(backend);
+        self
+    }
+
+    /// Which STM substrate to instantiate ([`BackendKind::Mvstm`] — the
+    /// JVSTM analogue — or [`BackendKind::Tl2`]). Defaults to the
+    /// `WTF_BACKEND` environment variable, falling back to mvstm. Ignored
+    /// when an instance was supplied via [`FutureTmBuilder::stm`] /
+    /// [`FutureTmBuilder::backend`].
+    pub fn backend_kind(mut self, kind: BackendKind) -> Self {
+        self.backend_kind = Some(kind);
         self
     }
 
@@ -229,9 +259,12 @@ impl FutureTmBuilder {
         };
         let tm = FutureTm {
             inner: Arc::new(TmInner {
-                stm: self
-                    .stm
-                    .unwrap_or_else(|| Stm::with_tracer(Arc::clone(&tracer))),
+                stm: self.stm.unwrap_or_else(|| {
+                    make_backend(
+                        self.backend_kind.unwrap_or_else(BackendKind::from_env),
+                        Arc::clone(&tracer),
+                    )
+                }),
                 clock,
                 pool: Mutex::new(Some(pool)),
                 cfg: self.cfg,
@@ -276,6 +309,7 @@ impl FutureTm {
             cfg: TmConfig::default(),
             clock: None,
             stm: None,
+            backend_kind: None,
             workers: 8,
             tracer: None,
         }
@@ -289,12 +323,17 @@ impl FutureTm {
 
     /// Creates a transactional box on this TM's STM.
     pub fn new_vbox<T: TxValue>(&self, value: T) -> VBox<T> {
-        VBox::new(&self.inner.stm, value)
+        VBox::from_body(self.inner.stm.new_box(Arc::new(value)))
     }
 
-    /// The underlying multi-versioned STM.
-    pub fn stm(&self) -> &Stm {
+    /// The underlying STM substrate.
+    pub fn stm(&self) -> &Arc<dyn StmBackend> {
         &self.inner.stm
+    }
+
+    /// Which STM substrate this TM runs over.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.stm.kind()
     }
 
     /// The clock this TM executes under.

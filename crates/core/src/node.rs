@@ -4,7 +4,7 @@ use crate::graph::NodeId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use wtf_mvstm::raw::BoxBody;
+use wtf_backend::BackendBox;
 use wtf_mvstm::{BoxId, FxHashMap, Value};
 
 /// Where a read's value came from — needed for top-level commit validation
@@ -20,7 +20,7 @@ pub enum ReadOrigin {
 }
 
 pub struct ReadEntry {
-    pub body: Arc<BoxBody>,
+    pub body: Arc<dyn BackendBox>,
     pub origin: ReadOrigin,
 }
 
@@ -51,14 +51,17 @@ pub struct SubTxNode {
     pub reads: Mutex<FxHashMap<BoxId, ReadEntry>>,
     /// Private write buffer; locked for symmetric access, though only the
     /// owning thread writes it before freeze.
-    writes: Mutex<FxHashMap<BoxId, (Arc<BoxBody>, Value)>>,
+    writes: Mutex<WriteMap>,
     /// Set exactly once at iCommit; after that the write-set is immutable
     /// and shared without locking.
     frozen: OnceLock<FrozenWrites>,
 }
 
+/// A node's buffered writes: backend box handle + pending value per id.
+pub type WriteMap = FxHashMap<BoxId, (Arc<dyn BackendBox>, Value)>;
+
 /// An iCommitted node's immutable write-set, shared without locking.
-pub type FrozenWrites = Arc<FxHashMap<BoxId, (Arc<BoxBody>, Value)>>;
+pub type FrozenWrites = Arc<WriteMap>;
 
 impl SubTxNode {
     pub fn new(id: NodeId, kind: NodeKind) -> Arc<SubTxNode> {
@@ -82,7 +85,7 @@ impl SubTxNode {
 
     /// Buffers a write. Must not be called after freeze (enforced: only
     /// the owning thread writes, and it freezes before moving on).
-    pub fn buffer_write(&self, id: BoxId, body: Arc<BoxBody>, value: Value) {
+    pub fn buffer_write(&self, id: BoxId, body: Arc<dyn BackendBox>, value: Value) {
         debug_assert!(self.frozen.get().is_none(), "write after iCommit");
         self.writes.lock().insert(id, (body, value));
     }
@@ -96,7 +99,7 @@ impl SubTxNode {
     }
 
     /// Records a read (later entries win: re-reads refresh the origin).
-    pub fn record_read(&self, id: BoxId, body: Arc<BoxBody>, origin: ReadOrigin) {
+    pub fn record_read(&self, id: BoxId, body: Arc<dyn BackendBox>, origin: ReadOrigin) {
         self.reads.lock().insert(id, ReadEntry { body, origin });
     }
 
@@ -141,14 +144,18 @@ impl SubTxNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wtf_mvstm::{raw, Stm, VBox};
+    use wtf_backend::{StmBackend, TBox};
+
+    fn backend() -> wtf_backend::MvstmBackend {
+        wtf_backend::MvstmBackend::new(wtf_mvstm::Stm::new())
+    }
 
     #[test]
     fn freeze_makes_writes_shared_and_immutable() {
-        let stm = Stm::new();
-        let b = VBox::new(&stm, 1i64);
+        let stm = backend();
+        let b: TBox<i64> = TBox::from_body(stm.new_box(Arc::new(1i64)));
         let node = SubTxNode::new(0, NodeKind::Root);
-        let body = raw::body_of(&b);
+        let body = b.body().clone();
         node.buffer_write(b.id(), body.clone(), Arc::new(2i64));
         assert_eq!(
             *node
@@ -168,12 +175,12 @@ mod tests {
 
     #[test]
     fn intersections() {
-        let stm = Stm::new();
-        let a = VBox::new(&stm, 0i64);
-        let b = VBox::new(&stm, 0i64);
+        let stm = backend();
+        let a: TBox<i64> = TBox::from_body(stm.new_box(Arc::new(0i64)));
+        let b: TBox<i64> = TBox::from_body(stm.new_box(Arc::new(0i64)));
         let node = SubTxNode::new(0, NodeKind::Future);
-        node.buffer_write(a.id(), raw::body_of(&a), Arc::new(1i64));
-        node.record_read(b.id(), raw::body_of(&b), ReadOrigin::Global(0));
+        node.buffer_write(a.id(), a.body().clone(), Arc::new(1i64));
+        node.record_read(b.id(), b.body().clone(), ReadOrigin::Global(0));
         let mut ids = FxHashMap::default();
         ids.insert(a.id(), ());
         assert!(node.writes_intersect(&ids));

@@ -10,7 +10,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use wtf_mvstm::raw::{self, BoxBody};
+use wtf_backend::{BackendBox, BackendSnapshot};
 use wtf_mvstm::{BoxId, FxHashMap, StmError, Value};
 use wtf_trace::EventKind;
 use wtf_vclock::Event;
@@ -54,7 +54,7 @@ pub(crate) struct CommitInfo {
 /// One incarnation of a top-level transaction.
 pub struct TopLevel {
     pub id: u64,
-    pub(crate) snapshot: raw::Snapshot,
+    pub(crate) snapshot: BackendSnapshot,
     pub(crate) graph: Graph,
     pub(crate) nodes: RwLock<Vec<Arc<SubTxNode>>>,
     /// Internal doom that cannot be contained to one segment: forces a
@@ -79,7 +79,7 @@ impl TopLevel {
         let id = tm.next_top_id();
         let top = Arc::new(TopLevel {
             id,
-            snapshot: raw::acquire_snapshot(&tm.stm),
+            snapshot: tm.stm.acquire_snapshot(),
             graph: Graph::with_root(),
             nodes: RwLock::new(vec![SubTxNode::new(0, NodeKind::Root)]),
             doomed: AtomicBool::new(false),
@@ -223,7 +223,7 @@ impl TopLevel {
     fn external_reads(
         nodes: &[Arc<SubTxNode>],
         members: &[NodeId],
-    ) -> Vec<(Arc<BoxBody>, ReadOrigin)> {
+    ) -> Vec<(Arc<dyn BackendBox>, ReadOrigin)> {
         let member_set: HashSet<NodeId> = members.iter().copied().collect();
         let mut seen: HashSet<BoxId> = HashSet::new();
         let mut out = Vec::new();
@@ -246,10 +246,10 @@ impl TopLevel {
         g: &crate::graph::GraphInner,
         nodes: &[Arc<SubTxNode>],
         members: &[NodeId],
-    ) -> FxHashMap<BoxId, (Arc<BoxBody>, Value, NodeId)> {
+    ) -> FxHashMap<BoxId, (Arc<dyn BackendBox>, Value, NodeId)> {
         let mut ordered: Vec<NodeId> = members.to_vec();
         ordered.sort_by_key(|&n| (g.rank[n], n));
-        let mut out: FxHashMap<BoxId, (Arc<BoxBody>, Value, NodeId)> = FxHashMap::default();
+        let mut out: FxHashMap<BoxId, (Arc<dyn BackendBox>, Value, NodeId)> = FxHashMap::default();
         for n in ordered {
             if let Some(frozen) = nodes[n].frozen_writes() {
                 for (id, (body, value)) in frozen.iter() {
@@ -419,7 +419,7 @@ impl TopLevel {
             // Boxes the future observed from outside its subtree.
             let mut read_ids: FxHashMap<BoxId, ()> = FxHashMap::default();
             for (body, _) in Self::external_reads(&nodes, &members) {
-                read_ids.insert(raw::id_of(&body), ());
+                read_ids.insert(body.id(), ());
             }
             // The sub-transactions that ran concurrently with the future:
             // the backward chain from the evaluation point, minus the
@@ -635,7 +635,7 @@ impl TopLevel {
             }
             let overlay = Self::overlay_writes(&g, &nodes, &included);
             let mut winners: FxHashMap<BoxId, NodeId> = FxHashMap::default();
-            let mut writes: Vec<(Arc<BoxBody>, Value)> = Vec::with_capacity(overlay.len());
+            let mut writes: Vec<(Arc<dyn BackendBox>, Value)> = Vec::with_capacity(overlay.len());
             for (id, (body, value, node)) in overlay {
                 winners.insert(id, node);
                 writes.push((body, value));
@@ -644,7 +644,7 @@ impl TopLevel {
             // the commit-time serialization record (`CommitRead` events)
             // re-emits for offline checkers, and it must be captured here
             // — after publication, GC may prune the observed version.
-            let mut reads: Vec<(Arc<BoxBody>, u64)> = Vec::new();
+            let mut reads: Vec<(Arc<dyn BackendBox>, u64)> = Vec::new();
             let mut seen: HashSet<BoxId> = HashSet::new();
             for &n in &included {
                 for (id, entry) in nodes[n].reads.lock().iter() {
@@ -661,20 +661,20 @@ impl TopLevel {
         if self.is_doomed() {
             return Err(CommitFail::Internal);
         }
-        // 5. Validate + publish through the multi-versioned substrate:
-        //    `commit_raw` locks only the stripes covering this read/write
-        //    footprint, so top-level transactions with disjoint footprints
-        //    commit in parallel. Charge the bus for the published writes.
+        // 5. Validate + publish through the STM substrate: the backend
+        //    locks only the stripes covering this read/write footprint, so
+        //    top-level transactions with disjoint footprints commit in
+        //    parallel. Charge the bus for the published writes.
         let n_writes = writes.len() as u64;
         let version = if writes.is_empty() {
             self.snapshot_version()
         } else {
-            match raw::commit_attributed(
-                &tm.stm,
-                self.snapshot_version(),
-                reads.iter().map(|(body, _)| body),
-                writes,
-            ) {
+            let read_bodies: Vec<Arc<dyn BackendBox>> =
+                reads.iter().map(|(body, _)| body.clone()).collect();
+            match tm
+                .stm
+                .commit_attributed(self.snapshot_version(), &read_bodies, writes)
+            {
                 Ok(v) => v,
                 Err(conflict_box) => {
                     tm.stats.top_aborts();
@@ -706,10 +706,8 @@ impl TopLevel {
             // contiguous on this lane immediately before the `TopCommit`,
             // so offline checkers (`wtf-check`) can rebuild the committed
             // read-set from the trace alone.
-            let mut rec: Vec<(u64, u64)> = reads
-                .iter()
-                .map(|(body, v)| (raw::id_of(body).0, *v))
-                .collect();
+            let mut rec: Vec<(u64, u64)> =
+                reads.iter().map(|(body, v)| (body.id().0, *v)).collect();
             rec.sort_unstable();
             for (id, v) in rec {
                 tm.tracer.record_full(EventKind::CommitRead, id, v);
@@ -823,14 +821,14 @@ impl TopLevel {
         let (_, g) = self.graph.snapshot();
         let members = Self::subtree_members(&g, core.node, final_node);
         let mut poisoned = false;
-        let mut reads: Vec<(Arc<BoxBody>, u64)> = Vec::new();
+        let mut reads: Vec<(Arc<dyn BackendBox>, u64)> = Vec::new();
         for (body, origin) in Self::external_reads(&nodes, &members) {
             match origin {
                 ReadOrigin::Global(v) => reads.push((body, v)),
                 ReadOrigin::Ancestor(a) => {
                     // The observed ancestor value is revalidatable only if
                     // it is exactly what the spawner committed for the box.
-                    if info.winners.get(&raw::id_of(&body)) == Some(&a) {
+                    if info.winners.get(&body.id()) == Some(&a) {
                         reads.push((body, info.version));
                     } else {
                         poisoned = true;
@@ -838,7 +836,7 @@ impl TopLevel {
                 }
             }
         }
-        let writes: Vec<(Arc<BoxBody>, Value)> = Self::overlay_writes(&g, &nodes, &members)
+        let writes: Vec<(Arc<dyn BackendBox>, Value)> = Self::overlay_writes(&g, &nodes, &members)
             .into_iter()
             .map(|(_, (body, value, _))| (body, value))
             .collect();

@@ -75,7 +75,7 @@ pub mod raw;
 pub use hash::{FxHashMap, FxHashSet};
 pub use stats::{StmStats, StmStatsSnapshot};
 pub use txn::{Aborted, StmError, TxResult, Txn};
-pub use value::{BoxId, TxValue, Value};
+pub use value::{downcast_value, BoxId, TxValue, Value};
 pub use vbox::VBox;
 
 use registry::ActiveRegistry;

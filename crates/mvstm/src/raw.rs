@@ -71,6 +71,33 @@ pub fn body_of<T: TxValue>(vbox: &VBox<T>) -> Arc<BoxBody> {
     vbox.body.clone()
 }
 
+/// Creates an untyped box body initialized to `value`, stamped at the
+/// current clock — [`VBox::new`] minus the typed facade. Backend adapters
+/// (`wtf-backend`) create boxes through this because their values arrive
+/// already erased.
+pub fn new_box_body(stm: &Stm, value: Value) -> Arc<BoxBody> {
+    let id = BoxId(stm.inner.next_box.fetch_add(1, Ordering::Relaxed));
+    let version = stm.inner.clock.load(Ordering::Acquire);
+    Arc::new(BoxBody::new(id, stm.inner.stripes.clone(), version, value))
+}
+
+/// Counts one transaction abort (conflict retry) against this STM's
+/// stats. Retry loops living outside this crate (`wtf-backend`'s generic
+/// `atomic`) report through here; [`Stm::atomic`] counts its own.
+pub fn note_abort(stm: &Stm) {
+    stm.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one read-only commit (which never reaches [`commit_raw`] — the
+/// multi-version property lets it commit with no validation at all).
+pub fn note_read_only_commit(stm: &Stm) {
+    stm.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+    stm.inner
+        .stats
+        .read_only_commits
+        .fetch_add(1, Ordering::Relaxed);
+}
+
 /// Id of an untyped body.
 pub fn id_of(body: &BoxBody) -> BoxId {
     body.id

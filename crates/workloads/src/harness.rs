@@ -1,7 +1,7 @@
 //! Virtual-time measurement harness.
 
 use std::sync::Arc;
-use wtf_core::{CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
+use wtf_core::{BackendKind, CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
 use wtf_mvstm::StmStatsSnapshot;
 use wtf_trace::{Json, TraceLevel, TraceSummary, Tracer};
 use wtf_vclock::Clock;
@@ -16,6 +16,8 @@ pub struct RunResult {
     pub makespan: u64,
     /// Work units completed (workload-defined, e.g. transactions or tasks).
     pub completed: u64,
+    /// Which STM substrate the run executed over.
+    pub backend: BackendKind,
     pub tm: TmStatsSnapshot,
     pub stm: StmStatsSnapshot,
     /// Tracing summary for the run (all-zero when tracing was off).
@@ -67,6 +69,7 @@ impl RunResult {
         Json::obj(vec![
             ("makespan", self.makespan.into()),
             ("completed", self.completed.into()),
+            ("backend", Json::Str(self.backend.name().to_string())),
             ("throughput", Json::F64(self.throughput())),
             ("top_abort_rate", Json::F64(self.top_abort_rate())),
             ("internal_abort_rate", Json::F64(self.internal_abort_rate())),
@@ -97,7 +100,16 @@ pub struct RunSpec {
     /// `WTF_TRACE` environment variable, so every figure binary honours
     /// `WTF_TRACE=1` without plumbing a flag through each workload wrapper.
     pub trace: TraceLevel,
+    /// STM substrate for this run. [`RunSpec::new`] seeds it from the
+    /// `WTF_BACKEND` environment variable (default mvstm), so every figure
+    /// binary honours `WTF_BACKEND=tl2` without per-workload plumbing.
+    pub backend: BackendKind,
 }
+
+/// Scoped backend override for workload sweeps — re-exported from
+/// `wtf-backend` (it pins [`BackendKind::from_env`], which both
+/// [`RunSpec::new`] and `FutureTm::builder` consult).
+pub use wtf_core::with_backend;
 
 impl RunSpec {
     pub fn new(semantics: Semantics, clients: usize, workers: usize) -> RunSpec {
@@ -109,12 +121,20 @@ impl RunSpec {
             clients,
             units_per_client: 1,
             trace: TraceLevel::from_env(),
+            backend: BackendKind::from_env(),
         }
     }
 
     /// Overrides the tracing level (tests want this independent of env).
     pub fn with_trace(mut self, level: TraceLevel) -> RunSpec {
         self.trace = level;
+        self
+    }
+
+    /// Overrides the STM substrate (differential tests want this
+    /// independent of env).
+    pub fn with_backend(mut self, backend: BackendKind) -> RunSpec {
+        self.backend = backend;
         self
     }
 }
@@ -149,6 +169,7 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
                     .with_memory_bus(spec2.memory_bus),
             )
             .workers(spec2.workers)
+            .backend_kind(spec2.backend)
             .tracer(t2)
             .build();
         // Delta against the post-construction baseline so the measurement
@@ -177,6 +198,7 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
     let result = RunResult {
         makespan: clock.makespan(),
         completed: spec.units_per_client * spec.clients as u64,
+        backend: spec.backend,
         tm: tm_stats,
         stm: stm_stats,
         trace: tracer.summary(),

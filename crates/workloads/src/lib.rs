@@ -26,4 +26,4 @@ pub mod harness;
 pub mod synthetic;
 pub mod vacation;
 
-pub use harness::{run_virtual, run_virtual_traced, ClientFn, RunResult, RunSpec};
+pub use harness::{run_virtual, run_virtual_traced, with_backend, ClientFn, RunResult, RunSpec};

@@ -277,6 +277,7 @@ pub fn read_only_nt(cfg: &SyntheticConfig, clients: usize, parallel: bool) -> Ru
     RunResult {
         makespan: clock.makespan(),
         completed: (clients * cfg.txs_per_client * cfg.tasks_per_tx) as u64,
+        backend: wtf_core::BackendKind::from_env(),
         tm: Default::default(),
         stm: Default::default(),
         trace: Default::default(),

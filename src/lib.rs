@@ -11,6 +11,9 @@
 //!   [`TxCtx`], [`TxFuture`], the four semantics (WO/SO × LAC/GAC);
 //! * [`stm`] (`wtf-mvstm`) — the multi-versioned STM substrate
 //!   (JVSTM-style versioned boxes);
+//! * [`backend`] (`wtf-backend`) — the substrate abstraction:
+//!   [`BackendKind`] selects between mvstm and the single-version TL2
+//!   backend (`wtf-tl2`), at runtime via `WTF_BACKEND=tl2`;
 //! * [`fsg`] (`wtf-fsg`) — the Future Serialization Graph formalism:
 //!   histories, polygraphs, acceptance checking;
 //! * [`clock`] (`wtf-vclock`) — deterministic virtual-time execution;
@@ -52,8 +55,9 @@
 //! the paper's figure harnesses.
 
 pub use wtf_core::{
-    Aborted, AtomicitySemantics, BoxId, CostModel, FutState, FutureTm, OrderingSemantics,
-    Semantics, Stm, StmError, TmConfig, TmStatsSnapshot, TxCtx, TxFuture, TxResult, TxValue, VBox,
+    Aborted, AtomicitySemantics, BackendKind, BoxId, CostModel, FutState, FutureTm,
+    OrderingSemantics, Semantics, Stm, StmError, TmConfig, TmStatsSnapshot, TxCtx, TxFuture,
+    TxResult, TxValue, VBox,
 };
 
 /// The WTF-TM runtime (re-export of `wtf-core`).
@@ -64,6 +68,24 @@ pub mod tm {
 /// The multi-versioned STM substrate (re-export of `wtf-mvstm`).
 pub mod stm {
     pub use wtf_mvstm::*;
+}
+
+/// The STM substrate abstraction: backend trait, stepwise transactions,
+/// backend selection (re-export of `wtf-backend`).
+pub mod backend {
+    pub use wtf_backend::*;
+}
+
+/// The single-version, lock-striped TL2 substrate (re-export of
+/// `wtf-tl2`).
+pub mod tl2 {
+    pub use wtf_tl2::*;
+}
+
+/// Correctness tooling: serializability checker, schedule explorers
+/// (re-export of `wtf-check`).
+pub mod check {
+    pub use wtf_check::*;
 }
 
 /// The Future Serialization Graph formalism (re-export of `wtf-fsg`).

@@ -1,21 +1,30 @@
 //! Scale/stress integration: paper-scale thread counts under the virtual
-//! clock, and real-thread races.
+//! clock, and real-thread races — swept across both STM substrates
+//! (mvstm and TL2).
 
 use std::sync::Arc;
 use transactional_futures::clock::Clock;
 use transactional_futures::workloads::bank::{futures_replay, BankConfig, EvalPolicy};
 use transactional_futures::workloads::synthetic::{conflict_prone, ConflictConfig};
-use transactional_futures::{FutureTm, Semantics};
+use transactional_futures::workloads::with_backend;
+use transactional_futures::{BackendKind, FutureTm, Semantics};
 
 /// 56 concurrent futures in one transaction — the paper's maximum degree
 /// of intra-transaction parallelism.
 #[test]
 fn fifty_six_futures_one_transaction() {
+    for kind in BackendKind::ALL {
+        fifty_six_futures_on(kind);
+    }
+}
+
+fn fifty_six_futures_on(kind: BackendKind) {
     let clock = Clock::virtual_time();
     let sum = clock.enter(|| {
         let tm = FutureTm::builder()
             .semantics(Semantics::WO_GAC)
             .workers(58)
+            .backend_kind(kind)
             .build();
         let boxes: Vec<_> = (0..56).map(|i| tm.new_vbox(i as i64)).collect();
         let boxes2 = boxes.clone();
@@ -65,9 +74,15 @@ fn so_high_contention_progress() {
         txs_per_client: 4,
         seed: 0xfeed,
     };
-    let r = conflict_prone(&cfg, Semantics::SO, 2);
-    assert_eq!(r.tm.top_commits, 8, "all transactions eventually commit");
-    assert!(r.tm.internal_aborts > 0, "contention was real");
+    for kind in BackendKind::ALL {
+        let r = with_backend(kind, || conflict_prone(&cfg, Semantics::SO, 2));
+        assert_eq!(r.backend, kind);
+        assert_eq!(
+            r.tm.top_commits, 8,
+            "{kind:?}: all transactions eventually commit"
+        );
+        assert!(r.tm.internal_aborts > 0, "{kind:?}: contention was real");
+    }
 }
 
 /// Bank invariant under every variant at paper-ish scale.
@@ -85,12 +100,14 @@ fn bank_invariant_at_scale() {
         seed: 0xabcd,
     };
     // The workload itself asserts the getTotalAmount invariant.
-    for (sem, pol) in [
-        (Semantics::WO_GAC, EvalPolicy::OutOfOrder),
-        (Semantics::SO, EvalPolicy::InOrder),
-    ] {
-        let r = futures_replay(&cfg, sem, pol, 2);
-        assert_eq!(r.tm.top_commits, 2);
+    for kind in BackendKind::ALL {
+        for (sem, pol) in [
+            (Semantics::WO_GAC, EvalPolicy::OutOfOrder),
+            (Semantics::SO, EvalPolicy::InOrder),
+        ] {
+            let r = with_backend(kind, || futures_replay(&cfg, sem, pol, 2));
+            assert_eq!(r.tm.top_commits, 2, "{kind:?} {sem:?}");
+        }
     }
 }
 
@@ -98,11 +115,18 @@ fn bank_invariant_at_scale() {
 /// futures and plain transactions.
 #[test]
 fn real_thread_mixed_stress() {
+    for kind in BackendKind::ALL {
+        real_thread_mixed_stress_on(kind);
+    }
+}
+
+fn real_thread_mixed_stress_on(kind: BackendKind) {
     let clock = Clock::real_nospin();
     clock.enter(|| {
         let tm = FutureTm::builder()
             .semantics(Semantics::WO_GAC)
             .workers(12)
+            .backend_kind(kind)
             .build();
         let cells: Arc<Vec<_>> = Arc::new((0..8).map(|_| tm.new_vbox(0i64)).collect());
         let c = Clock::current();
@@ -169,22 +193,25 @@ fn real_thread_mixed_stress() {
     });
 }
 
-/// Determinism at scale: a 28-client virtual run is bit-reproducible.
+/// Determinism at scale: a 28-client virtual run is bit-reproducible —
+/// on each substrate independently.
 #[test]
 fn virtual_determinism_at_scale() {
-    let run = || {
-        let cfg = ConflictConfig {
-            array_size: 512,
-            reads_per_future: 30,
-            iter: 100,
-            hot_spots: 16,
-            writes_per_future: 2,
-            futures_per_tx: 4,
-            txs_per_client: 2,
-            seed: 31337,
+    for kind in BackendKind::ALL {
+        let run = || {
+            let cfg = ConflictConfig {
+                array_size: 512,
+                reads_per_future: 30,
+                iter: 100,
+                hot_spots: 16,
+                writes_per_future: 2,
+                futures_per_tx: 4,
+                txs_per_client: 2,
+                seed: 31337,
+            };
+            let r = with_backend(kind, || conflict_prone(&cfg, Semantics::WO_GAC, 4));
+            (r.makespan, r.tm)
         };
-        let r = conflict_prone(&cfg, Semantics::WO_GAC, 4);
-        (r.makespan, r.tm)
-    };
-    assert_eq!(run(), run());
+        assert_eq!(run(), run(), "{kind:?}");
+    }
 }
