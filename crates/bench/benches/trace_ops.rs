@@ -7,6 +7,12 @@
 //! `vbox/txn_write_commit_10` from `vbox_ops`, measured on the same
 //! machine). The enabled levels are measured alongside so the *price* of
 //! turning tracing on is a number, not a guess.
+//!
+//! The `wtf-telemetry` hub rides the same sampling hook, so its
+//! steady-state bar is pinned here too: with no hub attached the hook
+//! costs exactly what `hook_enabled_gauge_not_due` costs, and with a hub
+//! attached but no epoch due (`hook_telemetry_tick_not_due`) it adds one
+//! relaxed load + compare against the precomputed epoch end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -64,6 +70,38 @@ fn bench_trace_overhead(c: &mut Criterion) {
     c1.set(7);
     g.bench_function("hook_enabled_gauge_not_due", |b| {
         b.iter(|| black_box(&gauged).maybe_sample_gauges())
+    });
+
+    // Telemetry attached, epoch not due: the hub's steady-state cost on
+    // every sampling hook is one atomic load + compare. This is the
+    // disabled-telemetry overhead pin for the wtf-telemetry PR — compare
+    // against `hook_enabled_gauge_not_due` (no hub) on the same machine.
+    let ticked = Tracer::new(TraceLevel::Lifecycle);
+    ticked.gauges.set_period(1 << 40);
+    let cfg = wtf_telemetry::TelemetryConfig {
+        epoch_len: 1 << 40, // first epoch never closes during the bench
+        ..wtf_telemetry::TelemetryConfig::default()
+    };
+    let _hub = wtf_telemetry::TelemetryHub::attach(
+        std::sync::Arc::clone(&ticked),
+        cfg.clone(),
+        "mvstm",
+        "bench",
+    );
+    g.bench_function("hook_telemetry_tick_not_due", |b| {
+        b.iter(|| black_box(&ticked).maybe_sample_gauges())
+    });
+
+    // And the end-to-end version of the same pin: the commit loop on a
+    // lifecycle tracer with a hub attached (no epoch closes) should sit
+    // within noise of `commit_10_lifecycle`.
+    let traced = Tracer::new(TraceLevel::Lifecycle);
+    let _hub2 =
+        wtf_telemetry::TelemetryHub::attach(std::sync::Arc::clone(&traced), cfg, "mvstm", "bench");
+    let stm = Stm::with_tracer(traced);
+    let boxes: Vec<VBox<i64>> = (0..1024).map(|i| VBox::new(&stm, i as i64)).collect();
+    g.bench_function("commit_10_telemetry_attached", |b| {
+        b.iter(|| commit_loop(&stm, &boxes))
     });
 
     g.finish();

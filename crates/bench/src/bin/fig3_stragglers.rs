@@ -21,9 +21,23 @@ const STRAGGLER_FACTOR: u64 = 10;
 
 /// Runs the Fig. 3 scenario; returns (per-task completion times, makespan)
 /// plus the tracer (recording at the `WTF_TRACE` level) for export.
-fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tracer>) {
+/// `mode` labels the telemetry series when `WTF_TELEMETRY` /
+/// `WTF_METRICS_FILE` is set (the CI smoke job scrapes this binary).
+fn run(semantics: Semantics, in_order: bool, mode: &str) -> (Vec<(usize, u64)>, u64, Arc<Tracer>) {
     let clock = Clock::virtual_time();
     let tracer = Tracer::from_env();
+    // Telemetry rides the tracer's sampling hooks, so it only observes
+    // anything when tracing is live (WTF_TRACE >= 1).
+    let hub = wtf_telemetry::TelemetryConfig::from_env()
+        .filter(|_| tracer.summary().enabled())
+        .map(|cfg| {
+            wtf_telemetry::TelemetryHub::attach(
+                Arc::clone(&tracer),
+                cfg,
+                wtf_core::BackendKind::from_env().name(),
+                if mode == "so" { "fig3_so" } else { "fig3_wo" },
+            )
+        });
     let t2 = Arc::clone(&tracer);
     let completions = clock.enter(move || {
         let tm = FutureTm::builder()
@@ -71,6 +85,9 @@ fn run(semantics: Semantics, in_order: bool) -> (Vec<(usize, u64)>, u64, Arc<Tra
         // Final gauge sample: closes every series at end-of-run virtual
         // time (deterministic, so safe for the byte-stable baselines).
         tm.tracer().sample_gauges();
+        if let Some(h) = &hub {
+            h.finish(Clock::current().now());
+        }
         tm.shutdown();
         out
     });
@@ -88,7 +105,7 @@ fn main() {
         ("SO (strongly ordered)", "so", Semantics::SO, true),
         ("WO (weakly ordered)", "wo", Semantics::WO_GAC, false),
     ] {
-        let (completions, makespan, tracer) = run(sem, in_order);
+        let (completions, makespan, tracer) = run(sem, in_order, mode);
         // WTF_CHECK=1: re-derive a serialization witness for the run we
         // just traced, independently of the TM's own bookkeeping.
         if std::env::var("WTF_CHECK").is_ok_and(|v| v != "0" && !v.is_empty()) {
@@ -126,8 +143,8 @@ fn main() {
             emit_report(&format!("fig3_trace_{mode}"), &trace);
         }
     }
-    let (_, so, _) = run(Semantics::SO, true);
-    let (_, wo, _) = run(Semantics::WO_GAC, false);
+    let (_, so, _) = run(Semantics::SO, true, "so");
+    let (_, wo, _) = run(Semantics::WO_GAC, false, "wo");
     println!();
     println!(
         "WO completes the 8 tasks {}x faster than SO (paper: WO is immune to stragglers)",
@@ -147,7 +164,7 @@ fn main() {
         &["backend", "makespan"],
     );
     for kind in BackendKind::ALL {
-        let (_, makespan, _) = with_backend(kind, || run(Semantics::WO_GAC, false));
+        let (_, makespan, _) = with_backend(kind, || run(Semantics::WO_GAC, false, "wo"));
         table_row(&[&kind.name(), &makespan]);
         report.row(vec![
             ("system", kind.name().into()),
@@ -164,8 +181,8 @@ mod tests {
 
     #[test]
     fn wo_beats_so_on_stragglers() {
-        let (_, so, _) = run(Semantics::SO, true);
-        let (_, wo, _) = run(Semantics::WO_GAC, false);
+        let (_, so, _) = run(Semantics::SO, true, "so");
+        let (_, wo, _) = run(Semantics::WO_GAC, false, "wo");
         assert!(wo < so, "WO {wo} should beat SO {so}");
         // WO is bounded by the straggler itself.
         assert!(wo <= BASE_WORK * STRAGGLER_FACTOR + BASE_WORK);

@@ -16,11 +16,20 @@
 //!
 //! Without `--check`, figures missing a fresh file are skipped with a
 //! note — convenient for local runs that only regenerated one figure.
+//!
+//! Under `--check`, every fresh report except the `fig3*` timeline
+//! exports is additionally validated with
+//! [`check_backend_rows`](wtf_bench::diff::check_backend_rows): the
+//! trailing comparative-substrate rows must cover every
+//! [`BackendKind`](wtf_core::BackendKind) in order, each labelled and
+//! actually run on that substrate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use wtf_bench::diff::{diff_files, discover_figures};
+use wtf_bench::diff::{check_backend_rows, diff_files, discover_figures};
 use wtf_bench::results_dir;
+use wtf_core::BackendKind;
+use wtf_trace::Json;
 
 struct Options {
     check: bool,
@@ -121,6 +130,32 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("{figure}: {e}");
                 return ExitCode::from(2);
+            }
+        }
+        // fig3 emits straggler timelines, not comparison tables; every
+        // other figure must end with one comparative row per substrate.
+        if opts.check && !figure.starts_with("fig3") {
+            match std::fs::read_to_string(&fresh_path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+            {
+                Ok(report) => {
+                    let backends: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
+                    let problems = check_backend_rows(&report, &backends);
+                    if problems.is_empty() {
+                        println!("{figure}: backend rows OK ({})", backends.join(","));
+                    } else {
+                        failed = true;
+                        println!("{figure}: FAIL (backend rows malformed)");
+                        for p in &problems {
+                            println!("  backend-rows: {p}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{figure}: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
     }

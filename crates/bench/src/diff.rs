@@ -19,8 +19,14 @@
 //!
 //! Everything else — run parameters, raw `tm`/`stm` counters — is
 //! compared *structurally* (same shape, same parameter values) but not
-//! gated numerically; `trace` subtrees are skipped entirely (tracing
-//! volume is allowed to evolve without invalidating perf baselines).
+//! gated numerically; `trace` and `telemetry` subtrees are skipped
+//! entirely (tracing volume and observability schema are allowed to
+//! evolve without invalidating perf baselines).
+//!
+//! [`check_backend_rows`] is the companion structural gate for the
+//! comparative-substrate section every figure report ends with: the
+//! trailing rows must cover every expected backend, in order, each with
+//! a numeric speedup and a result dump that really ran on that backend.
 
 use std::path::Path;
 use wtf_trace::Json;
@@ -129,7 +135,7 @@ pub fn compare_reports(baseline: &Json, fresh: &Json) -> DiffReport {
 }
 
 fn walk(path: &str, key: &str, base: &Json, fresh: &Json, out: &mut DiffReport) {
-    if key == "trace" {
+    if key == "trace" || key == "telemetry" {
         return;
     }
     match (base, fresh) {
@@ -197,6 +203,50 @@ fn walk(path: &str, key: &str, base: &Json, fresh: &Json, out: &mut DiffReport) 
             }
         },
     }
+}
+
+/// Structurally validates the trailing comparative-substrate rows of a
+/// figure report: the last `backends.len()` rows of `rows` must be
+/// `system_row`s labelled with each expected backend in order, carry a
+/// numeric `speedup`, and embed a `result` whose own `backend` field
+/// matches the row label (i.e. the run really executed on that
+/// substrate). Returns the list of problems; empty means the section is
+/// well-formed.
+pub fn check_backend_rows(report: &Json, backends: &[&str]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(Json::Arr(rows)) = report.get("rows") else {
+        return vec!["report has no rows array".to_string()];
+    };
+    if rows.len() < backends.len() {
+        return vec![format!(
+            "only {} rows, need at least one trailing row per backend ({})",
+            rows.len(),
+            backends.join(",")
+        )];
+    }
+    let tail = &rows[rows.len() - backends.len()..];
+    for (i, (row, &want)) in tail.iter().zip(backends).enumerate() {
+        let at = rows.len() - backends.len() + i;
+        let system = row.get("system").and_then(|s| s.as_str());
+        if system != Some(want) {
+            problems.push(format!(
+                "rows[{at}]: expected backend row for {want:?}, found system {system:?}"
+            ));
+            continue;
+        }
+        if row.get("speedup").and_then(|s| s.as_f64()).is_none() {
+            problems.push(format!(
+                "rows[{at}] ({want}): speedup missing or non-numeric"
+            ));
+        }
+        match row.get("result").and_then(|r| r.get("backend")) {
+            Some(b) if b.as_str() == Some(want) => {}
+            other => problems.push(format!(
+                "rows[{at}] ({want}): result.backend is {other:?}, not {want:?}"
+            )),
+        }
+    }
+    problems
 }
 
 /// Reads and diffs two report files.
@@ -311,6 +361,79 @@ mod tests {
         }
         let d = compare_reports(&report(2.0, 1000, 96, 0.1), &fresh);
         assert!(d.ok(), "{:?}", d);
+    }
+
+    #[test]
+    fn telemetry_subtree_ignored() {
+        let with_telemetry = |enabled: bool, commits: u64| {
+            Json::obj(vec![
+                ("figure", "figX".into()),
+                (
+                    "rows",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("makespan", 1000u64.into()),
+                        (
+                            "telemetry",
+                            Json::obj(vec![
+                                ("enabled", Json::Bool(enabled)),
+                                ("commits_total", commits.into()),
+                            ]),
+                        ),
+                    ])]),
+                ),
+            ])
+        };
+        // Wildly different telemetry blocks (even different shapes) never
+        // trip the perf gate.
+        let d = compare_reports(&with_telemetry(false, 0), &with_telemetry(true, 123_456));
+        assert!(d.ok(), "{:?}", d);
+    }
+
+    fn backend_report(tail: Vec<(&str, &str, bool)>) -> Json {
+        // (system label, result.backend, has speedup)
+        let mut rows = vec![Json::obj(vec![
+            ("threads", 4u64.into()),
+            ("wtf_speedup", Json::F64(2.0)),
+        ])];
+        for (system, inner, with_speedup) in tail {
+            let mut fields = vec![("system", Json::from(system))];
+            if with_speedup {
+                fields.push(("speedup", Json::F64(1.0)));
+            }
+            fields.push(("result", Json::obj(vec![("backend", inner.into())])));
+            rows.push(Json::obj(fields));
+        }
+        Json::obj(vec![("figure", "figX".into()), ("rows", Json::Arr(rows))])
+    }
+
+    #[test]
+    fn backend_rows_well_formed_pass() {
+        let r = backend_report(vec![("mvstm", "mvstm", true), ("tl2", "tl2", true)]);
+        assert!(check_backend_rows(&r, &["mvstm", "tl2"]).is_empty());
+    }
+
+    #[test]
+    fn backend_rows_missing_backend_flagged() {
+        let r = backend_report(vec![("mvstm", "mvstm", true)]);
+        let problems = check_backend_rows(&r, &["mvstm", "tl2"]);
+        assert_eq!(problems.len(), 2, "{problems:?}"); // both tail rows wrong
+    }
+
+    #[test]
+    fn backend_rows_mislabelled_result_flagged() {
+        // The row claims tl2 but the embedded run executed on mvstm.
+        let r = backend_report(vec![("mvstm", "mvstm", true), ("tl2", "mvstm", true)]);
+        let problems = check_backend_rows(&r, &["mvstm", "tl2"]);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("result.backend"));
+    }
+
+    #[test]
+    fn backend_rows_missing_speedup_flagged() {
+        let r = backend_report(vec![("mvstm", "mvstm", false), ("tl2", "tl2", true)]);
+        let problems = check_backend_rows(&r, &["mvstm", "tl2"]);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("speedup"));
     }
 
     #[test]

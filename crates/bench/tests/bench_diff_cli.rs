@@ -16,11 +16,26 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-fn write_report(dir: &Path, figure: &str, speedup: f64) {
+/// A minimal report with the shape the gate expects: one sweep row plus
+/// the trailing comparative-substrate rows (one per backend).
+fn write_report_rows(dir: &Path, figure: &str, speedup: f64, backend_rows: &[&str]) {
+    let mut rows = vec![format!(
+        r#"{{"threads":4,"wtf_speedup":{speedup},"wtf":{{"makespan":1000,"completed":96,"trace":{{"events_recorded":0}}}}}}"#
+    )];
+    for backend in backend_rows {
+        rows.push(format!(
+            r#"{{"system":"{backend}","speedup":1.0,"result":{{"makespan":1000,"completed":96,"backend":"{backend}"}}}}"#
+        ));
+    }
     let body = format!(
-        r#"{{"figure":"{figure}","clock":"virtual","rows":[{{"threads":4,"wtf_speedup":{speedup},"wtf":{{"makespan":1000,"completed":96,"trace":{{"events_recorded":0}}}}}}]}}"#
+        r#"{{"figure":"{figure}","clock":"virtual","rows":[{}]}}"#,
+        rows.join(",")
     );
     std::fs::write(dir.join(format!("{figure}.json")), body).unwrap();
+}
+
+fn write_report(dir: &Path, figure: &str, speedup: f64) {
+    write_report_rows(dir, figure, speedup, &["mvstm", "tl2"]);
 }
 
 fn run(args: &[&str]) -> (i32, String) {
@@ -101,6 +116,26 @@ fn without_check_missing_fresh_is_skipped() {
     ]);
     assert_eq!(code, 0, "{text}");
     assert!(text.contains("skipped"), "{text}");
+}
+
+#[test]
+fn missing_backend_rows_fail_under_check() {
+    let base = scratch("br_base");
+    let fresh = scratch("br_fresh");
+    // Both sides agree numerically, but the fresh report dropped its tl2
+    // comparative row — the structural backend gate must catch that.
+    write_report_rows(&base, "fig7", 2.0, &["mvstm"]);
+    write_report_rows(&fresh, "fig7", 2.0, &["mvstm"]);
+    let (code, text) = run(&[
+        "--check",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--fresh",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("backend rows malformed"), "{text}");
+    assert!(text.contains("tl2"), "{text}");
 }
 
 #[test]

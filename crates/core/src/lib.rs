@@ -119,6 +119,10 @@ pub(crate) struct TmInner {
     pub(crate) conflict_abort_streak: AtomicU64,
     /// Remaining automatic graph dumps (rate limit; see `inspect`).
     pub(crate) dumps_remaining: AtomicU64,
+    /// Cumulative watchdog stall reports, registered as the
+    /// `watchdog_stalls` gauge (the telemetry incident detector
+    /// differences it per epoch).
+    pub(crate) watchdog_stalls: wtf_trace::Counter,
 }
 
 impl TmInner {
@@ -276,6 +280,7 @@ impl FutureTmBuilder {
                 tops: Mutex::new(Vec::new()),
                 conflict_abort_streak: AtomicU64::new(0),
                 dumps_remaining: AtomicU64::new(inspect::dump_limit_from_env()),
+                watchdog_stalls: wtf_trace::Counter::new(),
             }),
         };
         if tm.inner.tracer.on() {
@@ -290,6 +295,38 @@ impl FutureTmBuilder {
                     tm.live_tops().iter().map(|t| t.node_count() as u64).sum()
                 })
             });
+            // Cumulative TM counters for the telemetry hub's per-epoch
+            // deltas (futures/adoption signals alongside the STM's
+            // commit/conflict gauges).
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner.tracer.gauges.register("tm_top_commits", move || {
+                w.upgrade().map_or(0, |tm| tm.stats.snapshot().top_commits)
+            });
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner.tracer.gauges.register("tm_top_aborts", move || {
+                w.upgrade().map_or(0, |tm| tm.stats.snapshot().top_aborts)
+            });
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner
+                .tracer
+                .gauges
+                .register("tm_internal_aborts", move || {
+                    w.upgrade()
+                        .map_or(0, |tm| tm.stats.snapshot().internal_aborts)
+                });
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner
+                .tracer
+                .gauges
+                .register("tm_futures_submitted", move || {
+                    w.upgrade()
+                        .map_or(0, |tm| tm.stats.snapshot().futures_submitted)
+                });
+            let c = tm.inner.watchdog_stalls.clone();
+            tm.inner
+                .tracer
+                .gauges
+                .register("watchdog_stalls", move || c.get());
         }
         tm
     }

@@ -177,6 +177,7 @@ fn report_stall(tm: &TmInner, live: &[Arc<TopLevel>], cfg: &WatchdogConfig, stal
     // in-order commit disciplines it is the one everyone else waits on.
     let straggler = live.iter().min_by_key(|t| t.id);
     let straggler_id = straggler.map_or(u64::MAX, |t| t.id);
+    tm.watchdog_stalls.add(1);
     tm.tracer.record(
         EventKind::WatchdogStall,
         straggler_id,

@@ -19,7 +19,7 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use wtf_trace::{EventKind, Tracer};
 use wtf_vclock::{Clock, Event, JoinHandle};
@@ -34,6 +34,9 @@ struct PoolInner {
     shutdown: AtomicBool,
     /// Number of workers currently executing a task (diagnostics).
     busy: AtomicUsize,
+    /// Cumulative tasks finished across all workers, exposed as the
+    /// `pool_tasks_executed` gauge (telemetry differences it per epoch).
+    executed: AtomicU64,
     /// Observability: workers emit busy/idle spans into this tracer.
     tracer: Arc<Tracer>,
 }
@@ -77,6 +80,7 @@ impl TaskPool {
             available: clock.new_event(),
             shutdown: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
             tracer,
         });
         if inner.tracer.on() {
@@ -91,6 +95,14 @@ impl TaskPool {
                 w.upgrade()
                     .map_or(0, |p| p.busy.load(Ordering::Relaxed) as u64)
             });
+            let w = Arc::downgrade(&inner);
+            inner
+                .tracer
+                .gauges
+                .register("pool_tasks_executed", move || {
+                    w.upgrade()
+                        .map_or(0, |p| p.executed.load(Ordering::Relaxed))
+                });
         }
         let handles = (0..workers)
             .map(|i| {
@@ -216,6 +228,7 @@ fn worker_loop(inner: &PoolInner, index: usize) {
                 inner
                     .tracer
                     .span_end(EventKind::WorkerBusySpan, start, index as u64);
+                inner.executed.fetch_add(1, Ordering::Relaxed);
                 inner.busy.fetch_sub(1, Ordering::Relaxed);
             }
             None => {

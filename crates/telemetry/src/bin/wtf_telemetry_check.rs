@@ -1,0 +1,91 @@
+//! `wtf-telemetry-check` — CI validator for exposition artifacts.
+//!
+//! For every file argument: parse it with the crate's Prometheus-format
+//! parser, verify the text is canonical (re-rendering reproduces the
+//! file byte-for-byte — the round-trip guarantee the smoke job relies
+//! on), and collect the `backend` label values seen. With
+//! `--require-backends a,b` the union across all files must cover every
+//! listed backend.
+//!
+//! Usage: `wtf-telemetry-check [--require-backends mvstm,tl2] FILE...`
+
+use wtf_telemetry::PromDoc;
+
+fn main() {
+    let mut require: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require-backends" => {
+                let Some(list) = args.next() else {
+                    eprintln!("error: --require-backends needs a comma-separated list");
+                    std::process::exit(2);
+                };
+                require.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: wtf-telemetry-check [--require-backends a,b] FILE...");
+                return;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no exposition files given");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    let mut backends: Vec<String> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {file}: cannot read: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let doc = match PromDoc::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("FAIL {file}: parse error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if doc.render() != text {
+            eprintln!("FAIL {file}: not canonical — render(parse(file)) differs from file");
+            failures += 1;
+            continue;
+        }
+        let file_backends = doc.label_values("backend");
+        let samples: usize = doc.families.iter().map(|f| f.samples.len()).sum();
+        println!(
+            "OK   {file}: {} families, {} samples, backends [{}]",
+            doc.families.len(),
+            samples,
+            file_backends.join(", ")
+        );
+        for b in file_backends {
+            if !backends.contains(&b) {
+                backends.push(b);
+            }
+        }
+    }
+    backends.sort();
+    for want in &require {
+        if !backends.contains(want) {
+            eprintln!(
+                "FAIL: required backend label {want:?} absent (saw [{}])",
+                backends.join(", ")
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} failure(s)");
+        std::process::exit(1);
+    }
+}

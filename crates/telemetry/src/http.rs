@@ -1,0 +1,111 @@
+//! Optional localhost HTTP exposition endpoint (feature `http`).
+//!
+//! A real Prometheus server scrapes over HTTP, so `WTF_METRICS_ADDR`
+//! gets a minimal single-threaded responder: every connection receives
+//! the latest rendered exposition body, whatever it asked for. The
+//! serving thread only *reads* pre-rendered strings — it never touches
+//! runtime state — so determinism of the run itself is unaffected; it is
+//! still feature-gated (off by default) because benchmark runs should
+//! not carry an extra thread at all.
+
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The serving thread's handle. Dropping it stops the thread.
+pub struct MetricsServer {
+    stop: Arc<AtomicBool>,
+    body: Arc<Mutex<String>>,
+    addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port 0 for an ephemeral
+    /// port) and starts serving the current body.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let body = Arc::new(Mutex::new(String::new()));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let body = Arc::clone(&body);
+            std::thread::Builder::new()
+                .name("wtf-metrics-http".into())
+                .spawn(move || serve_loop(listener, stop, body))?
+        };
+        Ok(MetricsServer {
+            stop,
+            body,
+            addr: local,
+            handle: Some(handle),
+        })
+    }
+
+    /// Replaces the served exposition body.
+    pub fn set_body(&self, text: String) {
+        *self.body.lock() = text;
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>, body: Arc<Mutex<String>>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                // Drain whatever request line arrived; the response is
+                // the same either way.
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                let text = body.lock().clone();
+                let response = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    text.len(),
+                    text
+                );
+                let _ = conn.write_all(response.as_bytes());
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn serves_current_body_over_http() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        server.set_body("wtf_epoch{backend=\"mvstm\"} 3\n".to_string());
+        let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("wtf_epoch{backend=\"mvstm\"} 3"));
+    }
+}

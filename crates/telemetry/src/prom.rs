@@ -1,0 +1,456 @@
+//! Hand-rolled Prometheus text exposition format: a canonical writer
+//! plus a parser, in the spirit of `wtf_trace::json` (the workspace
+//! builds fully offline, and CI round-trips every artifact it emits).
+//!
+//! The subset implemented is exactly what the exposition files need:
+//! `# HELP` / `# TYPE` comment lines and `name{labels} value` samples
+//! with counter, gauge, histogram and untyped families. Rendering is
+//! **canonical** — families sorted by name, samples sorted by (suffix,
+//! label rendering) — so two virtual-clock runs of the same workload
+//! produce byte-identical files, and `write(parse(text)) == text` holds
+//! for anything this module wrote (the CI smoke job's check).
+
+use std::fmt::Write as _;
+
+/// A sample's value. `f64` renders through Rust's shortest-roundtrip
+/// `Display` (deterministic); `Inf` is the `+Inf` histogram bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PromValue {
+    U64(u64),
+    F64(f64),
+    Inf,
+}
+
+impl PromValue {
+    fn render(&self) -> String {
+        match self {
+            PromValue::U64(v) => v.to_string(),
+            PromValue::F64(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    // Keep integral floats distinguishable from U64 on
+                    // re-parse by rendering an explicit decimal point.
+                    format!("{v:.1}")
+                } else {
+                    v.to_string()
+                }
+            }
+            PromValue::Inf => "+Inf".to_string(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<PromValue, String> {
+        match s {
+            "+Inf" | "Inf" => Ok(PromValue::Inf),
+            _ if s.contains(['.', 'e', 'E']) => s
+                .parse::<f64>()
+                .map(PromValue::F64)
+                .map_err(|e| format!("bad float {s:?}: {e}")),
+            _ => s
+                .parse::<u64>()
+                .map(PromValue::U64)
+                .map_err(|e| format!("bad integer {s:?}: {e}")),
+        }
+    }
+}
+
+/// One exposition line: `<family><suffix>{<labels>} <value>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Appended to the family name (`""`, `"_bucket"`, `"_sum"`,
+    /// `"_count"`).
+    pub suffix: String,
+    /// Label pairs; kept sorted by key for canonical rendering.
+    pub labels: Vec<(String, String)>,
+    pub value: PromValue,
+}
+
+impl PromSample {
+    pub fn new(suffix: &str, labels: Vec<(String, String)>, value: PromValue) -> PromSample {
+        let mut s = PromSample {
+            suffix: suffix.to_string(),
+            labels,
+            value,
+        };
+        s.labels.sort();
+        s
+    }
+
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn label_block(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A metric family: `# HELP`/`# TYPE` header plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    pub name: String,
+    pub help: String,
+    /// `counter`, `gauge`, `histogram` or `untyped`.
+    pub kind: String,
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    pub fn new(name: &str, help: &str, kind: &str) -> PromFamily {
+        PromFamily {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: kind.to_string(),
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// A whole exposition document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PromDoc {
+    pub families: Vec<PromFamily>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl PromDoc {
+    /// Canonicalizes in place: families sorted by name, samples sorted
+    /// by (suffix, rendered labels). Writing a canonical doc and parsing
+    /// it back yields the same canonical doc.
+    pub fn canonicalize(&mut self) {
+        self.families.sort_by(|a, b| a.name.cmp(&b.name));
+        for f in &mut self.families {
+            f.samples
+                .sort_by_key(|s| (s.suffix.clone(), s.label_block()));
+        }
+    }
+
+    /// The family named `name`, if present.
+    pub fn family(&self, name: &str) -> Option<&PromFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// All distinct values of `label` across every sample, sorted.
+    pub fn label_values(&self, label: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for f in &self.families {
+            for s in &f.samples {
+                if let Some(v) = s.label(label) {
+                    if !out.iter().any(|x| x == v) {
+                        out.push(v.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Renders the document in canonical exposition text format.
+    pub fn render(&self) -> String {
+        let mut doc = self.clone();
+        doc.canonicalize();
+        let mut out = String::new();
+        for f in &doc.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind);
+            for s in &f.samples {
+                let _ = writeln!(
+                    out,
+                    "{}{}{} {}",
+                    f.name,
+                    s.suffix,
+                    s.label_block(),
+                    s.value.render()
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses exposition text. Requires every sample line to follow a
+    /// `# TYPE` header whose family name prefixes the sample name (the
+    /// shape this module writes; arbitrary scrapes from other systems
+    /// are out of scope).
+    pub fn parse(text: &str) -> Result<PromDoc, String> {
+        let mut doc = PromDoc::default();
+        let mut pending_help: Option<(String, String)> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("line {}: {}", lineno + 1, msg);
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest
+                    .split_once(' ')
+                    .map(|(n, h)| (n.to_string(), h.to_string()))
+                    .unwrap_or_else(|| (rest.to_string(), String::new()));
+                pending_help = Some((name, help));
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("malformed TYPE line".into()))?;
+                let help = match pending_help.take() {
+                    Some((hn, h)) if hn == name => h,
+                    _ => String::new(),
+                };
+                doc.families.push(PromFamily::new(name, &help, kind));
+            } else if line.starts_with('#') {
+                continue; // other comments
+            } else {
+                let fam = doc
+                    .families
+                    .last_mut()
+                    .ok_or_else(|| err("sample before any TYPE header".into()))?;
+                let sample = parse_sample(line, &fam.name).map_err(err)?;
+                fam.samples.push(sample);
+            }
+        }
+        Ok(doc)
+    }
+}
+
+fn parse_sample(line: &str, family: &str) -> Result<PromSample, String> {
+    let rest = line
+        .strip_prefix(family)
+        .ok_or_else(|| format!("sample {line:?} does not extend family {family:?}"))?;
+    // rest = <suffix>[{labels}] <value>
+    let (name_part, value_part) = match rest.find('{') {
+        Some(brace) => {
+            let close = rest
+                .rfind('}')
+                .ok_or_else(|| "unterminated label block".to_string())?;
+            let after = rest[close + 1..].trim();
+            ((&rest[..brace], Some(&rest[brace + 1..close])), after)
+        }
+        None => {
+            let sp = rest
+                .find(' ')
+                .ok_or_else(|| "sample line missing value".to_string())?;
+            ((&rest[..sp], None), rest[sp + 1..].trim())
+        }
+    };
+    let (suffix, labels_src) = name_part;
+    let mut labels = Vec::new();
+    if let Some(src) = labels_src {
+        for pair in split_labels(src)? {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed label {pair:?}"))?;
+            let v = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
+            labels.push((k.to_string(), unescape_label(v)));
+        }
+    }
+    Ok(PromSample::new(
+        suffix,
+        labels,
+        PromValue::parse(value_part)?,
+    ))
+}
+
+/// Splits a label block on commas that are not inside quoted values.
+fn split_labels(src: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in src.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                cur.push(c);
+                escaped = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_quotes = !in_quotes;
+            }
+            ',' if !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote in label block".into());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> PromDoc {
+        let mut fam = PromFamily::new("wtf_commits_total", "Committed top-levels.", "counter");
+        fam.samples.push(PromSample::new(
+            "",
+            vec![
+                ("backend".into(), "mvstm".into()),
+                ("workload".into(), "zipf".into()),
+            ],
+            PromValue::U64(42),
+        ));
+        fam.samples.push(PromSample::new(
+            "",
+            vec![
+                ("backend".into(), "tl2".into()),
+                ("workload".into(), "zipf".into()),
+            ],
+            PromValue::U64(17),
+        ));
+        let mut hist =
+            PromFamily::new("wtf_commit_latency", "Rolling commit latency.", "histogram");
+        hist.samples.push(PromSample::new(
+            "_bucket",
+            vec![
+                ("backend".into(), "mvstm".into()),
+                ("le".into(), "15".into()),
+            ],
+            PromValue::U64(40),
+        ));
+        hist.samples.push(PromSample::new(
+            "_bucket",
+            vec![
+                ("backend".into(), "mvstm".into()),
+                ("le".into(), "+Inf".into()),
+            ],
+            PromValue::U64(42),
+        ));
+        hist.samples.push(PromSample::new(
+            "_sum",
+            vec![("backend".into(), "mvstm".into())],
+            PromValue::U64(512),
+        ));
+        hist.samples.push(PromSample::new(
+            "_count",
+            vec![("backend".into(), "mvstm".into())],
+            PromValue::U64(42),
+        ));
+        let mut rate = PromFamily::new("wtf_rolling_abort_rate", "Rolling abort rate.", "gauge");
+        rate.samples.push(PromSample::new(
+            "",
+            vec![("backend".into(), "mvstm".into())],
+            PromValue::F64(0.25),
+        ));
+        PromDoc {
+            families: vec![fam, hist, rate],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips_canonically() {
+        let text = doc().render();
+        let parsed = PromDoc::parse(&text).expect("parses");
+        assert_eq!(parsed.render(), text, "write(parse(write(doc))) stable");
+        // Canonical: families sorted by name.
+        let names: Vec<&str> = parsed.families.iter().map(|f| f.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn label_values_collects_backends() {
+        assert_eq!(doc().label_values("backend"), vec!["mvstm", "tl2"]);
+        assert_eq!(doc().label_values("workload"), vec!["zipf"]);
+    }
+
+    #[test]
+    fn float_values_stay_floats() {
+        let text = doc().render();
+        assert!(text.contains("wtf_rolling_abort_rate{backend=\"mvstm\"} 0.25"));
+        let whole = PromValue::F64(3.0).render();
+        assert_eq!(whole, "3.0", "integral floats keep a decimal point");
+        assert_eq!(PromValue::parse("3.0").unwrap(), PromValue::F64(3.0));
+        assert_eq!(PromValue::parse("3").unwrap(), PromValue::U64(3));
+        assert_eq!(PromValue::parse("+Inf").unwrap(), PromValue::Inf);
+    }
+
+    #[test]
+    fn label_escaping_survives_round_trip() {
+        let mut fam = PromFamily::new("wtf_test", "h", "gauge");
+        fam.samples.push(PromSample::new(
+            "",
+            vec![("name".into(), "we\"ird\\label\nx".into())],
+            PromValue::U64(1),
+        ));
+        let d = PromDoc {
+            families: vec![fam],
+        };
+        let text = d.render();
+        let parsed = PromDoc::parse(&text).unwrap();
+        assert_eq!(
+            parsed.families[0].samples[0].label("name"),
+            Some("we\"ird\\label\nx")
+        );
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PromDoc::parse("wtf_x 1").is_err(), "sample before TYPE");
+        assert!(PromDoc::parse("# TYPE wtf_x gauge\nwtf_x{a=\"1} 1").is_err());
+        assert!(PromDoc::parse("# TYPE wtf_x gauge\nwtf_x nope").is_err());
+    }
+
+    #[test]
+    fn merge_by_dropping_our_labels() {
+        // The hub's merge-on-export: drop samples matching our label set,
+        // keep the rest. Modeled here to pin the helper behavior.
+        let mut d = doc();
+        for f in &mut d.families {
+            f.samples.retain(|s| s.label("backend") != Some("mvstm"));
+        }
+        assert_eq!(d.label_values("backend"), vec!["tl2"]);
+    }
+}

@@ -86,10 +86,19 @@ pub enum EventKind {
     /// only; top-levels use [`EventKind::TopCommit`] instead).
     /// a=commit_version, b=snapshot_version.
     TxnCommit,
+    /// The telemetry hub closed a sliding-window epoch. a=epoch index,
+    /// b=epochs currently retained in the window.
+    TelemetryEpoch,
+    /// The incident detector opened an incident. a=incident kind code,
+    /// b=onset epoch index.
+    IncidentOnset,
+    /// A previously open incident recovered. a=incident kind code,
+    /// b=recovery epoch index.
+    IncidentEnd,
 }
 
 /// All kinds, in discriminant order (export tables, tests).
-pub const ALL_KINDS: [EventKind; 26] = [
+pub const ALL_KINDS: [EventKind; 29] = [
     EventKind::TopBegin,
     EventKind::TopCommit,
     EventKind::TopConflictAbort,
@@ -116,6 +125,9 @@ pub const ALL_KINDS: [EventKind; 26] = [
     EventKind::WatchdogStall,
     EventKind::CommitRead,
     EventKind::TxnCommit,
+    EventKind::TelemetryEpoch,
+    EventKind::IncidentOnset,
+    EventKind::IncidentEnd,
 ];
 
 impl EventKind {
@@ -148,6 +160,9 @@ impl EventKind {
             EventKind::WatchdogStall => "watchdog_stall",
             EventKind::CommitRead => "commit_read",
             EventKind::TxnCommit => "txn_commit",
+            EventKind::TelemetryEpoch => "telemetry_epoch",
+            EventKind::IncidentOnset => "incident_onset",
+            EventKind::IncidentEnd => "incident_end",
         }
     }
 
@@ -194,6 +209,8 @@ impl EventKind {
             EventKind::WatchdogStall => ("top", "window"),
             EventKind::CommitRead => ("box", "version"),
             EventKind::TxnCommit => ("version", "snapshot"),
+            EventKind::TelemetryEpoch => ("epoch", "retained"),
+            EventKind::IncidentOnset | EventKind::IncidentEnd => ("incident_kind", "epoch"),
         }
     }
 }

@@ -14,15 +14,17 @@
 //! byte-determinism, so the runtime calls
 //! [`Tracer::maybe_sample_gauges`](crate::Tracer::maybe_sample_gauges)
 //! from existing hooks (top-level begin/commit) and the registry
-//! rate-limits itself with a CAS on the next-due timestamp. With the
-//! period unset (the default) only explicit
+//! rate-limits itself with a CAS on the next-due timestamp. With
+//! periodic sampling unset (the default) only explicit
 //! [`Tracer::sample_gauges`](crate::Tracer::sample_gauges) calls record
 //! — e.g. the harness takes one end-of-run sample — keeping baselines
-//! small and untraced runs at a single relaxed load per hook.
+//! small and untraced runs at a single relaxed load per hook. Once
+//! enabled via [`GaugeRegistry::set_period`], a period of 0 means
+//! "sample on every hook" and `u64::MAX` means "sample at most once".
 
 use crate::json::Json;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A registered push-style gauge: the owner stores samples into it with
@@ -96,8 +98,14 @@ impl GaugeEntry {
 pub struct GaugeRegistry {
     entries: Mutex<Vec<GaugeEntry>>,
     samples: Mutex<Vec<(u64, Vec<u64>)>>,
-    /// Minimum clock distance between periodic samples; 0 disables
-    /// periodic sampling (explicit `record_sample` still works).
+    /// Whether hook-driven periodic sampling is enabled at all. Off by
+    /// default; [`GaugeRegistry::set_period`] turns it on. Kept separate
+    /// from `period` so that a period of 0 can mean "sample on every
+    /// hook" instead of being overloaded as the disabled sentinel.
+    periodic: AtomicBool,
+    /// Minimum clock distance between periodic samples. 0 means every
+    /// hook samples; `u64::MAX` means the first due hook samples once
+    /// and the saturated next-due point never arrives again.
     period: AtomicU64,
     /// Next timestamp at which `maybe_record` fires. Claimed by CAS so
     /// exactly one caller records per due window.
@@ -115,6 +123,7 @@ impl GaugeRegistry {
         GaugeRegistry {
             entries: Mutex::new(Vec::new()),
             samples: Mutex::new(Vec::new()),
+            periodic: AtomicBool::new(false),
             period: AtomicU64::new(0),
             next_due: AtomicU64::new(0),
         }
@@ -146,9 +155,23 @@ impl GaugeRegistry {
         self.entries.lock().is_empty()
     }
 
-    /// Sets the periodic-sampling interval (0 disables).
+    /// Enables periodic sampling with the given interval. A period of 0
+    /// samples on **every** hook (no rate limit); `u64::MAX` samples at
+    /// most once (the saturated next-due point is unreachable).
     pub fn set_period(&self, period: u64) {
         self.period.store(period, Ordering::Relaxed);
+        self.periodic.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns hook-driven periodic sampling back off (the default).
+    pub fn disable_periodic(&self) {
+        self.periodic.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether [`GaugeRegistry::maybe_record`] can ever fire.
+    #[inline]
+    pub fn periodic_enabled(&self) -> bool {
+        self.periodic.load(Ordering::Relaxed)
     }
 
     pub fn period(&self) -> u64 {
@@ -179,13 +202,18 @@ impl GaugeRegistry {
         Some(samples.len() - 1)
     }
 
-    /// Rate-limited sampling: records iff the period is non-zero and at
-    /// least one period elapsed since the last recorded sample. The CAS
-    /// claim means concurrent callers at the same due point record once.
+    /// Rate-limited sampling: records iff periodic sampling is enabled
+    /// and at least one period elapsed since the last recorded sample.
+    /// The CAS claim means concurrent callers at the same due point
+    /// record once; with period 0 every caller records (no claim).
     pub fn maybe_record(&self, ts: u64) -> Option<usize> {
+        if !self.periodic.load(Ordering::Relaxed) {
+            return None;
+        }
         let period = self.period.load(Ordering::Relaxed);
         if period == 0 {
-            return None;
+            // Sample-every-hook mode: no due window to claim.
+            return self.record_sample(ts);
         }
         let due = self.next_due.load(Ordering::Relaxed);
         if ts < due {
@@ -301,13 +329,42 @@ mod tests {
     fn periodic_sampling_rate_limits() {
         let reg = GaugeRegistry::new();
         reg.counter("g");
-        assert_eq!(reg.maybe_record(10), None, "period 0 => periodic off");
+        assert_eq!(
+            reg.maybe_record(10),
+            None,
+            "periodic sampling off by default"
+        );
         reg.set_period(100);
         assert!(reg.maybe_record(10).is_some(), "first due point records");
         assert_eq!(reg.maybe_record(50), None, "inside the period window");
         assert_eq!(reg.maybe_record(109), None);
         assert!(reg.maybe_record(110).is_some());
         assert_eq!(reg.series().samples.len(), 2);
+        reg.disable_periodic();
+        assert_eq!(reg.maybe_record(1000), None, "disabled again");
+    }
+
+    #[test]
+    fn period_zero_samples_every_hook() {
+        let reg = GaugeRegistry::new();
+        reg.counter("g");
+        reg.set_period(0);
+        assert!(reg.periodic_enabled());
+        for ts in [5, 5, 6, 7] {
+            assert!(reg.maybe_record(ts).is_some(), "period 0 never rate-limits");
+        }
+        assert_eq!(reg.series().samples.len(), 4);
+    }
+
+    #[test]
+    fn period_max_samples_at_most_once() {
+        let reg = GaugeRegistry::new();
+        reg.counter("g");
+        reg.set_period(u64::MAX);
+        assert!(reg.maybe_record(3).is_some(), "the first due hook records");
+        // next_due saturated to u64::MAX: no reachable timestamp is due.
+        assert_eq!(reg.maybe_record(u64::MAX - 1), None);
+        assert_eq!(reg.series().samples.len(), 1);
     }
 
     #[test]

@@ -23,17 +23,20 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Tracked as `u64::MAX` while empty; snapshots normalize to 0.
+    min: AtomicU64,
     max: AtomicU64,
 }
 
 /// Bucket index of `v`: 0 for 0, else position of the highest set bit + 1.
 #[inline]
-fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 
-/// Inclusive upper bound of bucket `i` (used for quantile estimates).
-fn bucket_upper(i: usize) -> u64 {
+/// Inclusive upper bound of bucket `i` (used for quantile estimates and
+/// the Prometheus `le` bounds in `wtf-telemetry`).
+pub fn bucket_upper(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= 64 {
@@ -55,6 +58,7 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
@@ -65,15 +69,40 @@ impl Histogram {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds a snapshot into this histogram: bucket arrays and count/sum
+    /// add, min/max extend. This is how `wtf-telemetry` collapses
+    /// per-epoch window deltas back into a mergeable aggregate.
+    pub fn merge(&self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.min.fetch_min(other.min, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
             max: self.max.load(Ordering::Relaxed),
         }
     }
@@ -85,6 +114,8 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; BUCKETS],
     pub count: u64,
     pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
     pub max: u64,
 }
 
@@ -94,6 +125,7 @@ impl Default for HistogramSnapshot {
             buckets: [0; BUCKETS],
             count: 0,
             sum: 0,
+            min: 0,
             max: 0,
         }
     }
@@ -141,8 +173,31 @@ impl HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
-            max: self.max, // max is not subtractive; keep the later one
+            // min/max are not subtractive; keep the later snapshot's.
+            min: self.min,
+            max: self.max,
         }
+    }
+
+    /// Folds `other` into `self`: bucket arrays and count/sum add, min
+    /// and max extend. The snapshot-level counterpart of
+    /// [`Histogram::merge`], used to collapse per-epoch window deltas
+    /// into one rolling histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Compact JSON: summary stats plus the non-empty buckets as
@@ -158,6 +213,7 @@ impl HistogramSnapshot {
         Json::obj(vec![
             ("count", self.count.into()),
             ("sum", self.sum.into()),
+            ("min", self.min.into()),
             ("max", self.max.into()),
             ("mean", self.mean().into()),
             ("p50", self.quantile(0.50).into()),
@@ -220,6 +276,56 @@ mod tests {
         assert_eq!(s.percentile(100.0), 1000);
         assert_eq!(s.percentile(250.0), 1000, "clamped above 100");
         assert_eq!(s.percentile(-3.0), s.quantile(0.0), "clamped below 0");
+    }
+
+    #[test]
+    fn min_tracked_and_normalized() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().min, 0, "empty histogram reports min 0");
+        h.record(9);
+        h.record(3);
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_extends_bounds() {
+        let a = Histogram::new();
+        a.record(5);
+        a.record(9);
+        let b = Histogram::new();
+        b.record(2);
+        b.record(1000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 1016);
+        assert_eq!(merged.min, 2);
+        assert_eq!(merged.max, 1000);
+        // Bucket arrays are the element-wise sum: rebuild directly.
+        let direct = Histogram::new();
+        for v in [5, 9, 2, 1000] {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct.snapshot());
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
+        // The atomic-side merge agrees with the snapshot-side one.
+        a.merge(&b.snapshot());
+        assert_eq!(a.snapshot(), merged);
+    }
+
+    #[test]
+    fn merge_into_empty_takes_other_min() {
+        let mut empty = HistogramSnapshot::default();
+        let h = Histogram::new();
+        h.record(7);
+        empty.merge(&h.snapshot());
+        assert_eq!(empty.min, 7, "empty min=0 must not poison the merge");
     }
 
     #[test]

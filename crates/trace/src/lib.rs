@@ -39,6 +39,7 @@ pub mod gauge;
 pub mod hist;
 pub mod json;
 pub mod ring;
+pub mod window;
 
 pub use attribution::ConflictMap;
 pub use event::{EventKind, TraceEvent};
@@ -46,6 +47,7 @@ pub use gauge::{Counter, GaugeRegistry, GaugeSeriesSnapshot};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use ring::Lane;
+pub use window::{WindowedCounter, WindowedHistogram};
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -148,6 +150,14 @@ pub struct Tracer {
     /// Live gauge registry (public: runtimes register providers at
     /// construction, hooks trigger periodic samples).
     pub gauges: GaugeRegistry,
+    /// Whether a telemetry tick hook is installed — a single relaxed
+    /// load keeps the disabled path flat.
+    tick_armed: std::sync::atomic::AtomicBool,
+    /// The telemetry tick hook: called with the current timestamp from
+    /// [`Tracer::maybe_sample_gauges`] (i.e. from the runtime's
+    /// top-level begin/commit hooks) so an attached aggregator can
+    /// close epochs without any thread of its own.
+    tick_hook: OnceLock<Box<dyn Fn(u64) + Send + Sync>>,
 }
 
 impl Tracer {
@@ -169,9 +179,14 @@ impl Tracer {
     pub fn with_capacity(level: TraceLevel, lane_capacity: usize) -> Arc<Tracer> {
         let gauges = GaugeRegistry::new();
         // Periodic gauge sampling is opt-in: `WTF_GAUGE_PERIOD=<units>`
-        // sets the minimum clock distance between hook-driven samples.
-        if let Ok(p) = std::env::var("WTF_GAUGE_PERIOD") {
-            gauges.set_period(p.trim().parse().unwrap_or(0));
+        // sets the minimum clock distance between hook-driven samples
+        // (0 = every hook). An unparseable value stays disabled rather
+        // than accidentally enabling per-hook sampling.
+        if let Some(p) = std::env::var("WTF_GAUGE_PERIOD")
+            .ok()
+            .and_then(|p| p.trim().parse().ok())
+        {
+            gauges.set_period(p);
         }
         Arc::new(Tracer {
             id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
@@ -181,6 +196,8 @@ impl Tracer {
             metrics: Metrics::default(),
             conflicts: ConflictMap::new(),
             gauges,
+            tick_armed: std::sync::atomic::AtomicBool::new(false),
+            tick_hook: OnceLock::new(),
         })
     }
 
@@ -281,25 +298,50 @@ impl Tracer {
     }
 
     /// Rate-limited gauge sampling for hot-path hooks: records only when
-    /// tracing is on *and* the registry's period has elapsed. Costs one
-    /// relaxed load when off and two when inside the period window.
+    /// tracing is on *and* periodic sampling is enabled, and drives any
+    /// installed telemetry tick hook. Costs one relaxed load when off
+    /// and three when nothing is armed.
     #[inline]
     pub fn maybe_sample_gauges(&self) {
         if !self.on() {
             return;
         }
-        if self.gauges.period() == 0 {
+        let periodic = self.gauges.periodic_enabled();
+        let ticking = self.tick_armed.load(Ordering::Relaxed);
+        if !periodic && !ticking {
             return;
         }
         let ts = self.now();
-        if let Some(idx) = self.gauges.maybe_record(ts) {
-            self.record_at(
-                ts,
-                EventKind::GaugeSample,
-                idx as u64,
-                self.gauges.len() as u64,
-            );
+        if periodic {
+            if let Some(idx) = self.gauges.maybe_record(ts) {
+                self.record_at(
+                    ts,
+                    EventKind::GaugeSample,
+                    idx as u64,
+                    self.gauges.len() as u64,
+                );
+            }
         }
+        if ticking {
+            if let Some(hook) = self.tick_hook.get() {
+                hook(ts);
+            }
+        }
+    }
+
+    /// Installs the telemetry tick hook. One hook per tracer: returns
+    /// false (and installs nothing) if one is already set.
+    pub fn set_tick_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) -> bool {
+        if self.tick_hook.set(Box::new(hook)).is_err() {
+            return false;
+        }
+        self.tick_armed.store(true, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether a telemetry tick hook is installed.
+    pub fn tick_hook_installed(&self) -> bool {
+        self.tick_armed.load(Ordering::Relaxed)
     }
 
     /// Charges a conflict abort to `box_id`. No-op when off.

@@ -1,0 +1,236 @@
+//! Ring-of-epochs windowed primitives: the sliding-window substrate
+//! `wtf-telemetry` aggregates over.
+//!
+//! Time is cut into fixed-length **epochs** (clock units per epoch is
+//! the consumer's choice; virtual and real clocks both work). Each
+//! closed epoch contributes one *frame* — a counter delta or a
+//! [`HistogramSnapshot`] delta — and a window keeps the last `cap`
+//! frames. Rolling queries fold the retained frames: sums for counters,
+//! [`HistogramSnapshot::merge`] for histograms, so a rolling percentile
+//! is exactly the percentile of a histogram built from the window's
+//! samples (the property the proptest oracle below pins down).
+//!
+//! These types are deliberately plain (no atomics): the consumer closes
+//! epochs under its own lock, on hook-driven ticks — a sampler thread
+//! would perturb the virtual-clock schedule and break determinism.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::VecDeque;
+
+/// A windowed counter: per-epoch deltas, rolling sum over the last
+/// `cap` epochs.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    cap: usize,
+    frames: VecDeque<(u64, u64)>,
+}
+
+impl WindowedCounter {
+    /// A window retaining the last `cap` epochs (`cap >= 1`).
+    pub fn new(cap: usize) -> WindowedCounter {
+        WindowedCounter {
+            cap: cap.max(1),
+            frames: VecDeque::new(),
+        }
+    }
+
+    /// Closes `epoch` with this counter's delta for it. Epochs must be
+    /// pushed in increasing order; the oldest frame falls out once more
+    /// than `cap` are retained.
+    pub fn push(&mut self, epoch: u64, delta: u64) {
+        debug_assert!(self.frames.back().is_none_or(|&(e, _)| e < epoch));
+        self.frames.push_back((epoch, delta));
+        while self.frames.len() > self.cap {
+            self.frames.pop_front();
+        }
+    }
+
+    /// Sum of the retained (windowed) deltas.
+    pub fn window_sum(&self) -> u64 {
+        self.frames.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// The most recently closed epoch's `(epoch, delta)`.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        self.frames.back().copied()
+    }
+
+    /// Number of retained frames (≤ `cap`).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// A windowed log-bucketed histogram: per-epoch snapshot deltas, rolling
+/// merge over the last `cap` epochs.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    cap: usize,
+    frames: VecDeque<(u64, HistogramSnapshot)>,
+}
+
+impl WindowedHistogram {
+    pub fn new(cap: usize) -> WindowedHistogram {
+        WindowedHistogram {
+            cap: cap.max(1),
+            frames: VecDeque::new(),
+        }
+    }
+
+    /// Closes `epoch` with the histogram delta recorded during it.
+    pub fn push(&mut self, epoch: u64, delta: HistogramSnapshot) {
+        debug_assert!(self.frames.back().is_none_or(|(e, _)| *e < epoch));
+        self.frames.push_back((epoch, delta));
+        while self.frames.len() > self.cap {
+            self.frames.pop_front();
+        }
+    }
+
+    /// The merged histogram over the retained window: bucket arrays sum,
+    /// so quantiles carry the same 2x bound as the underlying
+    /// [`Histogram`](crate::Histogram).
+    pub fn rolling(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (_, frame) in &self.frames {
+            out.merge(frame);
+        }
+        out
+    }
+
+    /// The most recently closed epoch's delta.
+    pub fn last(&self) -> Option<&(u64, HistogramSnapshot)> {
+        self.frames.back()
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counter_window_slides() {
+        let mut w = WindowedCounter::new(3);
+        for (e, v) in [(0, 1), (1, 2), (2, 4), (3, 8)] {
+            w.push(e, v);
+        }
+        assert_eq!(w.len(), 3, "epoch 0 fell out");
+        assert_eq!(w.window_sum(), 2 + 4 + 8);
+        assert_eq!(w.last(), Some((3, 8)));
+    }
+
+    #[test]
+    fn histogram_window_merges_retained_frames() {
+        let mut w = WindowedHistogram::new(2);
+        for (e, vals) in [(0u64, vec![1u64, 2]), (1, vec![100]), (2, vec![7, 7])] {
+            let h = Histogram::new();
+            for v in vals {
+                h.record(v);
+            }
+            w.push(e, h.snapshot());
+        }
+        // Window = epochs 1..=2; epoch 0's samples are gone.
+        let rolling = w.rolling();
+        let direct = Histogram::new();
+        for v in [100u64, 7, 7] {
+            direct.record(v);
+        }
+        assert_eq!(rolling, direct.snapshot());
+        assert_eq!(rolling.count, 3);
+        assert_eq!(rolling.min, 7);
+        assert_eq!(rolling.max, 100);
+    }
+
+    #[test]
+    fn empty_windows_are_zero() {
+        let w = WindowedHistogram::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.rolling(), HistogramSnapshot::default());
+        let c = WindowedCounter::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.window_sum(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::hist::Histogram;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Oracle: a windowed histogram's rolling snapshot must equal —
+        /// bucket array, count, sum, min, max, and therefore every
+        /// percentile — a histogram built directly from the naive
+        /// Vec-of-samples restricted to the window, at every slide
+        /// position.
+        #[test]
+        fn rolling_matches_vec_of_samples_oracle(
+            input in (
+                proptest::collection::vec(
+                    proptest::collection::vec(0u64..1_000_000, 0..12),
+                    1..20,
+                ),
+                1usize..6,
+                1u64..1001,
+            )
+        ) {
+            let (epochs, cap, p_tenths) = input;
+            let p = p_tenths as f64 / 10.0;
+            let mut w = WindowedHistogram::new(cap);
+            for (e, samples) in epochs.iter().enumerate() {
+                let h = Histogram::new();
+                for &v in samples {
+                    h.record(v);
+                }
+                w.push(e as u64, h.snapshot());
+
+                // Naive oracle: all samples of the last `cap` epochs.
+                let lo = (e + 1).saturating_sub(cap);
+                let direct = Histogram::new();
+                let mut flat: Vec<u64> = Vec::new();
+                for s in &epochs[lo..=e] {
+                    for &v in s {
+                        direct.record(v);
+                        flat.push(v);
+                    }
+                }
+                let rolling = w.rolling();
+                prop_assert_eq!(&rolling, &direct.snapshot());
+
+                // And the rolling percentile obeys the documented 2x
+                // bound against the exact sorted window.
+                if !flat.is_empty() {
+                    flat.sort_unstable();
+                    let n = flat.len() as u64;
+                    let rank = (((p / 100.0) * n as f64).ceil() as u64).clamp(1, n);
+                    let exact = flat[(rank - 1) as usize];
+                    let est = rolling.percentile(p);
+                    prop_assert!(est >= exact, "under-reported: {} < {}", est, exact);
+                    if exact > 0 {
+                        prop_assert!(
+                            est <= exact.saturating_mul(2),
+                            "over 2x bound: {} for {}",
+                            est,
+                            exact
+                        );
+                    } else {
+                        prop_assert_eq!(est, 0);
+                    }
+                }
+            }
+        }
+    }
+}

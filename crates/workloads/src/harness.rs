@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use wtf_core::{BackendKind, CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
 use wtf_mvstm::StmStatsSnapshot;
+use wtf_telemetry::{TelemetryConfig, TelemetryHub, TelemetrySummary};
 use wtf_trace::{Json, TraceLevel, TraceSummary, Tracer};
 use wtf_vclock::Clock;
 
@@ -22,6 +23,9 @@ pub struct RunResult {
     pub stm: StmStatsSnapshot,
     /// Tracing summary for the run (all-zero when tracing was off).
     pub trace: TraceSummary,
+    /// Sliding-window telemetry block (disabled default when the run had
+    /// no [`RunSpec::telemetry`] config or tracing was off).
+    pub telemetry: TelemetrySummary,
 }
 
 impl RunResult {
@@ -80,6 +84,7 @@ impl RunResult {
             // summary shape.
             ("dropped_events", self.trace.events_dropped.into()),
             ("trace", self.trace.to_json()),
+            ("telemetry", self.telemetry.to_json()),
         ])
     }
 }
@@ -104,6 +109,15 @@ pub struct RunSpec {
     /// `WTF_BACKEND` environment variable (default mvstm), so every figure
     /// binary honours `WTF_BACKEND=tl2` without per-workload plumbing.
     pub backend: BackendKind,
+    /// Sliding-window telemetry for this run. [`RunSpec::new`] seeds it
+    /// from the environment (`WTF_TELEMETRY` / `WTF_METRICS_FILE` /
+    /// `WTF_METRICS_ADDR`); `None` disables the hub entirely. Telemetry
+    /// rides on tracer hooks, so it additionally needs `trace` ≥
+    /// [`TraceLevel::Lifecycle`] to observe anything.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Workload label stamped on every exported metric series (and the
+    /// incident report), so one exposition file can hold several runs.
+    pub workload: &'static str,
 }
 
 /// Scoped backend override for workload sweeps — re-exported from
@@ -122,6 +136,8 @@ impl RunSpec {
             units_per_client: 1,
             trace: TraceLevel::from_env(),
             backend: BackendKind::from_env(),
+            telemetry: TelemetryConfig::from_env(),
+            workload: "run",
         }
     }
 
@@ -135,6 +151,19 @@ impl RunSpec {
     /// independent of env).
     pub fn with_backend(mut self, backend: BackendKind) -> RunSpec {
         self.backend = backend;
+        self
+    }
+
+    /// Overrides the telemetry config (tests want this independent of
+    /// env); `None` disables the hub.
+    pub fn with_telemetry(mut self, cfg: Option<TelemetryConfig>) -> RunSpec {
+        self.telemetry = cfg;
+        self
+    }
+
+    /// Sets the workload label used on exported metric series.
+    pub fn with_workload(mut self, workload: &'static str) -> RunSpec {
+        self.workload = workload;
         self
     }
 }
@@ -159,9 +188,25 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
     } else {
         Tracer::new(spec.trace)
     };
+    // The telemetry hub rides on the tracer's sampling hook, so it only
+    // attaches when tracing is live; its epochs advance at virtual
+    // timestamps and the resulting summary is byte-deterministic.
+    let hub = spec
+        .telemetry
+        .as_ref()
+        .filter(|_| spec.trace != TraceLevel::Off)
+        .map(|cfg| {
+            TelemetryHub::attach(
+                Arc::clone(&tracer),
+                cfg.clone(),
+                spec.backend.name(),
+                spec.workload,
+            )
+        });
     let spec2 = spec.clone();
     let t2 = Arc::clone(&tracer);
-    let (tm_stats, stm_stats) = clock.enter(move || {
+    let hub2 = hub.clone();
+    let (tm_stats, stm_stats, telemetry) = clock.enter(move || {
         let tm = FutureTm::builder()
             .config(
                 TmConfig::new(spec2.semantics)
@@ -192,8 +237,14 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         // Close every gauge series with one end-of-run sample, taken at
         // deterministic virtual time (no-op when tracing is off).
         tm.tracer().sample_gauges();
+        // Finish telemetry before shutdown so the final epoch still sees
+        // the pool/STM gauges alive.
+        let telemetry = match &hub2 {
+            Some(h) => h.finish(c.now()),
+            None => TelemetrySummary::default(),
+        };
         tm.shutdown();
-        (tm_stats, stm_stats)
+        (tm_stats, stm_stats, telemetry)
     });
     let result = RunResult {
         makespan: clock.makespan(),
@@ -202,6 +253,7 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         tm: tm_stats,
         stm: stm_stats,
         trace: tracer.summary(),
+        telemetry,
     };
     if check {
         match wtf_check::HistoryChecker::from_tracer(&tracer).verify() {
