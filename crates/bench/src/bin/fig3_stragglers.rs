@@ -114,6 +114,29 @@ fn main() {
                 Err(e) => panic!("WTF_CHECK failed for fig3 {mode}: {e}"),
             }
         }
+        // WTF_PROFILE=1: causal critical-path profile of the run we just
+        // traced — under SO the report should finger the straggler future
+        // as the dominant culprit. The partition invariant (category
+        // totals == makespan) is enforced here, so CI smoke fails loudly
+        // if attribution ever leaks time.
+        if std::env::var("WTF_PROFILE").is_ok_and(|v| v != "0" && !v.is_empty())
+            && tracer.summary().enabled()
+        {
+            match wtf_profile::Profile::from_tracer_with_makespan(&tracer, makespan) {
+                Ok(p) => {
+                    if let Err(e) = p.verify_partition() {
+                        panic!("WTF_PROFILE partition check failed for fig3 {mode}: {e}");
+                    }
+                    emit_report(&format!("fig3_profile_{mode}"), &p.report(10));
+                    let folded =
+                        wtf_bench::results_dir().join(format!("fig3_profile_{mode}.folded"));
+                    std::fs::write(&folded, p.folded_stacks())
+                        .unwrap_or_else(|e| panic!("write {}: {e}", folded.display()));
+                    eprintln!("wtf-profile[{mode}]: wrote {}", folded.display());
+                }
+                Err(e) => panic!("WTF_PROFILE failed for fig3 {mode}: {e}"),
+            }
+        }
         let order: Vec<String> = completions
             .iter()
             .map(|(t, at)| format!("T{t}@{at}"))

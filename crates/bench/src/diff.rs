@@ -19,9 +19,9 @@
 //!
 //! Everything else — run parameters, raw `tm`/`stm` counters — is
 //! compared *structurally* (same shape, same parameter values) but not
-//! gated numerically; `trace` and `telemetry` subtrees are skipped
-//! entirely (tracing volume and observability schema are allowed to
-//! evolve without invalidating perf baselines).
+//! gated numerically; `trace`, `telemetry` and `profile` subtrees are
+//! skipped entirely (tracing volume and observability schema are allowed
+//! to evolve without invalidating perf baselines).
 //!
 //! [`check_backend_rows`] is the companion structural gate for the
 //! comparative-substrate section every figure report ends with: the
@@ -135,7 +135,7 @@ pub fn compare_reports(baseline: &Json, fresh: &Json) -> DiffReport {
 }
 
 fn walk(path: &str, key: &str, base: &Json, fresh: &Json, out: &mut DiffReport) {
-    if key == "trace" || key == "telemetry" {
+    if key == "trace" || key == "telemetry" || key == "profile" {
         return;
     }
     match (base, fresh) {
@@ -386,6 +386,31 @@ mod tests {
         // Wildly different telemetry blocks (even different shapes) never
         // trip the perf gate.
         let d = compare_reports(&with_telemetry(false, 0), &with_telemetry(true, 123_456));
+        assert!(d.ok(), "{:?}", d);
+    }
+
+    #[test]
+    fn profile_subtree_ignored() {
+        let with_profile = |makespan: u64, profile: Json| {
+            Json::obj(vec![
+                ("figure", "figX".into()),
+                (
+                    "rows",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("makespan", makespan.into()),
+                        ("profile", profile),
+                    ])]),
+                ),
+            ])
+        };
+        // A baseline generated without WTF_PROFILE (null) against a fresh
+        // run with a full report block — and vice versa — never trips the
+        // perf gate, exactly like `trace`/`telemetry`.
+        let block = Json::obj(vec![
+            ("schema", "wtf-profile/v1".into()),
+            ("makespan", 999u64.into()),
+        ]);
+        let d = compare_reports(&with_profile(1000, Json::Null), &with_profile(1000, block));
         assert!(d.ok(), "{:?}", d);
     }
 

@@ -201,9 +201,17 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
                     .split('/')
                     .any(|c| c == "tests" || c == "benches" || c == "examples"),
             runtime_crate: !fixture
-                && ["crates/mvstm", "crates/core", "crates/check"]
-                    .iter()
-                    .any(|r| rel.contains(r)),
+                && [
+                    "crates/mvstm",
+                    "crates/core",
+                    "crates/check",
+                    // The substrate layer wraps the raw mvstm/tl2 APIs
+                    // behind the StmBackend trait; it is the runtime.
+                    "crates/backend",
+                    "crates/tl2",
+                ]
+                .iter()
+                .any(|r| rel.contains(r)),
         };
         let src = std::fs::read_to_string(&path)?;
         out.extend(lint_source_with(&rel, &src, ctx));

@@ -310,14 +310,21 @@ impl TxCtx {
                 let v = self.evaluate(&futures[i])?;
                 return Ok((i, v));
             }
-            // Future completions notify the top-level's change event.
+            // Future completions notify the top-level's change event. The
+            // wait blocks on the whole set, so the join edge is
+            // unattributed (b = u64::MAX); the profiler resolves the
+            // producer from whichever completion ends the span.
             let top = self.top.clone();
             let cores: Vec<_> = futures.iter().map(|f| f.core.clone()).collect();
+            let wait_start = self.tm.tracer.span_start();
             self.tm.clock.wait_until(&self.top.change, move || {
                 top.is_cancelled()
                     || top.is_doomed()
                     || cores.iter().any(|c| c.state().is_settled())
             });
+            self.tm
+                .tracer
+                .span_end(EventKind::EvalWaitSpan, wait_start, u64::MAX);
         }
     }
 
@@ -350,12 +357,18 @@ impl TxCtx {
         let eval_arc = self.top.open_segment(cur, NodeKind::Eval);
         self.node = eval_arc;
         self.view_valid = false;
-        // Wait for the body to settle.
+        // Wait for the body to settle. The wait is a join edge of the
+        // causal DAG: the span's `b` names the future we blocked on so the
+        // profiler can jump lanes along it.
         let top = self.top.clone();
         let core2 = core.clone();
+        let wait_start = self.tm.tracer.span_start();
         self.tm.clock.wait_until(&core.event, move || {
             core2.state().is_settled() || top.is_cancelled()
         });
+        self.tm
+            .tracer
+            .span_end(EventKind::EvalWaitSpan, wait_start, core.id);
         self.check_doom()?;
         loop {
             match core.state() {
@@ -417,9 +430,13 @@ impl TxCtx {
                 FutState::Running | FutState::Adopting => {
                     let core2 = core.clone();
                     let top = self.top.clone();
+                    let wait_start = self.tm.tracer.span_start();
                     self.tm.clock.wait_until(&core.event, move || {
                         core2.state().is_settled() || top.is_cancelled()
                     });
+                    self.tm
+                        .tracer
+                        .span_end(EventKind::EvalWaitSpan, wait_start, core.id);
                     self.check_doom()?;
                 }
             }
@@ -436,6 +453,14 @@ impl TxCtx {
             guard += 1;
             assert!(guard < 100_000, "reexecute_inline spinning");
             self.check_doom()?;
+            // Inline attempts continue the future's retry lineage on the
+            // evaluator's lane; the attempt index restarts per incarnation
+            // site (the profiler keys waste on begin/abort pairs, not on
+            // globally unique indices).
+            let attempt = (guard - 1) as u64;
+            self.tm
+                .tracer
+                .record(EventKind::FutureAttemptBegin, core.id, attempt);
             let fnode_arc = self.top.reincarnate_future_at(core, eval_pred);
             let mut fctx = TxCtx::new(self.tm.clone(), self.top.clone(), fnode_arc);
             fctx.set_owner(core.clone());
@@ -443,6 +468,9 @@ impl TxCtx {
                 Ok(value) => {
                     let final_node = fctx.node.id;
                     fctx.node.freeze();
+                    self.tm
+                        .tracer
+                        .record(EventKind::FutureCompleted, core.id, attempt);
                     self.top.finish_inline_serialization(
                         core,
                         final_node,
@@ -460,6 +488,9 @@ impl TxCtx {
                 }
                 Err(StmError::Conflict) => {
                     self.tm.stats.internal_aborts();
+                    self.tm
+                        .tracer
+                        .record(EventKind::FutureAttemptAbort, core.id, attempt);
                     if self.top.is_cancelled() || self.top.is_doomed() {
                         return Err(StmError::Conflict);
                     }

@@ -406,6 +406,10 @@ impl FutureTm {
         const MAX_REPLAYS: u32 = 10_000;
         let mut top: Option<Arc<TopLevel>> = None;
         let mut replay: Option<Vec<Arc<crate::future::FutureCore>>> = None;
+        // Retry lineage: the id of the incarnation a full restart abandoned,
+        // linked to its successor via a `TopRetry` event so the profiler can
+        // charge the abandoned attempt's work to the retry that won.
+        let mut prev_top: Option<u64> = None;
         let mut replays = 0u32;
         let mut guard = 0u32;
         loop {
@@ -440,11 +444,13 @@ impl FutureTm {
                                 .tracer
                                 .record(EventKind::TopInternalRestart, t.id, 0);
                             t.cancel(&self.inner);
+                            prev_top = Some(t.id);
                             top = None;
                             continue;
                         }
                         AttemptOutcome::Full => {
                             t.cancel(&self.inner);
+                            prev_top = Some(t.id);
                             top = None;
                             continue;
                         }
@@ -452,6 +458,9 @@ impl FutureTm {
                 }
                 _ => {
                     let t = TopLevel::begin(&self.inner);
+                    if let Some(prev) = prev_top.take() {
+                        self.inner.tracer.record(EventKind::TopRetry, t.id, prev);
+                    }
                     let root = t.node_arc(0);
                     (t, root)
                 }
@@ -466,6 +475,7 @@ impl FutureTm {
                 }
                 AttemptOutcome::Full => {
                     t.cancel(&self.inner);
+                    prev_top = Some(t.id);
                     top = None;
                     continue;
                 }

@@ -744,6 +744,7 @@ impl TopLevel {
             }
             let top_change = self.change.clone();
             let me = self;
+            let wait_start = tm.tracer.span_start();
             tm.clock.wait_until(&top_change, || {
                 me.is_cancelled()
                     || me.is_doomed()
@@ -754,6 +755,8 @@ impl TopLevel {
                         )
                     })
             });
+            tm.tracer
+                .span_end(EventKind::EvalWaitSpan, wait_start, u64::MAX);
         }
     }
 
@@ -794,6 +797,7 @@ impl TopLevel {
                 },
                 None => {
                     let me = self.clone();
+                    let wait_start = ctx.tm.tracer.span_start();
                     ctx.tm.clock.wait_until(&self.change, move || {
                         me.is_cancelled()
                             || me.is_doomed()
@@ -803,6 +807,9 @@ impl TopLevel {
                                 .iter()
                                 .any(|f| f.state() != FutState::Running)
                     });
+                    ctx.tm
+                        .tracer
+                        .span_end(EventKind::EvalWaitSpan, wait_start, u64::MAX);
                 }
             }
         }
@@ -872,6 +879,12 @@ pub(crate) fn run_future_body(
             tm.clock.notify_all(&top.change);
             return;
         }
+        // Retry lineage: every incarnation of the body is one attempt;
+        // begin/abort pairs let the profiler charge the aborted ones to
+        // wasted speculative work and tie them to the attempt that won.
+        let attempt = (guard - 1) as u64;
+        tm.tracer
+            .record(EventKind::FutureAttemptBegin, core.id, attempt);
         let node_arc = top.node_arc(core.node);
         let mut ctx = TxCtx::new(tm.clone(), top.clone(), node_arc);
         ctx.set_owner(core.clone());
@@ -879,6 +892,8 @@ pub(crate) fn run_future_body(
             Ok(value) => {
                 let final_node = ctx.node.id;
                 ctx.node.freeze();
+                tm.tracer
+                    .record(EventKind::FutureCompleted, core.id, attempt);
                 if tm.cfg.semantics.ordering == OrderingSemantics::Strong {
                     // JTF serializes futures at their submission points *in
                     // spawn order*: a future's commit waits for every
@@ -889,6 +904,8 @@ pub(crate) fn run_future_body(
                 match top.complete_future(&tm, &core, final_node, value) {
                     FutureCommitOutcome::Doomed => {
                         tm.stats.internal_aborts();
+                        tm.tracer
+                            .record(EventKind::FutureAttemptAbort, core.id, attempt);
                         top.cancel_children(&tm, &core);
                         if top.is_cancelled() || core.state() == FutState::Cancelled {
                             core.set_state(FutState::Cancelled);
@@ -907,6 +924,8 @@ pub(crate) fn run_future_body(
                     eprintln!("[debug] future {} body conflict, retrying", core.id);
                 }
                 tm.stats.internal_aborts();
+                tm.tracer
+                    .record(EventKind::FutureAttemptAbort, core.id, attempt);
                 top.cancel_children(&tm, &core);
                 if top.is_cancelled() || core.state() == FutState::Cancelled {
                     core.set_state(FutState::Cancelled);
@@ -918,6 +937,8 @@ pub(crate) fn run_future_body(
                 continue;
             }
             Err(StmError::UserAbort) => {
+                tm.tracer
+                    .record(EventKind::FutureAttemptAbort, core.id, attempt);
                 core.set_state(FutState::Failed);
                 tm.clock.notify_all(&core.event);
                 tm.clock.notify_all(&top.change);
@@ -932,6 +953,10 @@ pub(crate) fn run_future_body(
 fn wait_for_earlier_futures(tm: &Arc<TmInner>, top: &Arc<TopLevel>, core: &Arc<FutureCore>) {
     let top2 = top.clone();
     let core2 = core.clone();
+    // In-spawn-order blocking is a join edge on whichever earlier future
+    // settles last; the producer is resolved offline from the span's end
+    // timestamp (b = u64::MAX marks it unattributed at record time).
+    let wait_start = tm.tracer.span_start();
     tm.clock.wait_until(&top.change, move || {
         if top2.is_cancelled() || core2.state() == FutState::Cancelled {
             return true;
@@ -947,4 +972,6 @@ fn wait_for_earlier_futures(tm: &Arc<TmInner>, top: &Arc<TopLevel>, core: &Arc<F
         }
         true
     });
+    tm.tracer
+        .span_end(EventKind::EvalWaitSpan, wait_start, u64::MAX);
 }

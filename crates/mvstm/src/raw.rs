@@ -173,8 +173,11 @@ pub fn commit_attributed<'a>(
             if body.head_version() > snapshot {
                 // Attribute the abort to the box whose version check
                 // failed — the input to the per-run conflict hotspot
-                // report.
+                // report. The `TxnAttemptAbort` event additionally closes
+                // the attempt for retry-lineage profiling (both backends
+                // emit the identical record on this path).
                 tracer.charge_conflict(body.id.0);
+                tracer.record(wtf_trace::EventKind::TxnAttemptAbort, body.id.0, snapshot);
                 return Err(body.id);
             }
         }

@@ -1,0 +1,138 @@
+//! `wtf-profile` — causal critical-path profiler CLI.
+//!
+//! ```text
+//! wtf-profile [--check] [--top N] [--folded DIR] [--makespan N] FILE...
+//! ```
+//!
+//! Each FILE is a Chrome-format trace export produced by the figure
+//! binaries under `WTF_TRACE` (e.g. `results/fig3_trace_wo_lac.json`).
+//! For every file the tool prints the `CriticalPathReport` JSON block on
+//! stdout (one per line, preceded by a `== FILE` marker when more than
+//! one file is given).
+//!
+//! Flags:
+//!
+//! * `--check` — additionally verify the partition invariant (critical-
+//!   path category totals must sum exactly to the makespan) and fail the
+//!   run if it does not hold;
+//! * `--top N` — number of path segments/culprits in the report
+//!   (default 10);
+//! * `--folded DIR` — also write flamegraph folded stacks to
+//!   `DIR/<stem>.folded` (render with `flamegraph.pl` or speedscope);
+//! * `--makespan N` — extend the analysis horizon to N clock units (the
+//!   tail past the last event is attributed to idle).
+//!
+//! Exit status: `0` success; `1` a file failed to parse/profile or
+//! failed the `--check` gate; `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wtf_profile::Profile;
+use wtf_trace::Json;
+
+struct Options {
+    check: bool,
+    top: usize,
+    folded: Option<PathBuf>,
+    makespan: Option<u64>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        top: 10,
+        folded: None,
+        makespan: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--top" => {
+                let v = args.next().ok_or("--top needs a number")?;
+                opts.top = v.parse().map_err(|_| format!("bad --top value: {v}"))?;
+            }
+            "--folded" => {
+                opts.folded = Some(args.next().ok_or("--folded needs a directory")?.into());
+            }
+            "--makespan" => {
+                let v = args.next().ok_or("--makespan needs a number")?;
+                opts.makespan = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --makespan value: {v}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wtf-profile [--check] [--top N] [--folded DIR] [--makespan N] FILE..."
+                        .to_string(),
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            file => opts.files.push(file.into()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(
+            "no trace files given (expected Chrome exports, e.g. results/fig3_trace_wo_lac.json)"
+                .to_string(),
+        );
+    }
+    Ok(opts)
+}
+
+fn run_file(opts: &Options, file: &PathBuf) -> Result<(), String> {
+    let raw = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+    let json = Json::parse(&raw).map_err(|e| format!("{}: {e}", file.display()))?;
+    let lanes = wtf_trace::chrome::parse_chrome_trace(&json)
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+    let profile = Profile::from_lanes_with_makespan(lanes, 0, opts.makespan)
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+    if opts.check {
+        profile
+            .verify_partition()
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+    }
+    if opts.files.len() > 1 {
+        println!("== {}", file.display());
+    }
+    println!("{}", profile.report(opts.top));
+    if let Some(dir) = &opts.folded {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let stem = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("profile");
+        let out = dir.join(format!("{stem}.folded"));
+        std::fs::write(&out, profile.folded_stacks())
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        eprintln!("wtf-profile: wrote {}", out.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("wtf-profile: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for file in &opts.files {
+        if let Err(msg) = run_file(&opts, file) {
+            eprintln!("wtf-profile: {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

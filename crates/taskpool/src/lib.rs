@@ -26,9 +26,19 @@ use wtf_vclock::{Clock, Event, JoinHandle};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued task plus the causal metadata the profiler needs: the pool-wide
+/// task id and the (virtual) enqueue timestamp, which together let
+/// [`EventKind::TaskEnqueue`]/[`EventKind::TaskDequeue`] pairs reconstruct
+/// queue-delay edges offline.
+struct QueuedTask {
+    id: u64,
+    enqueued_at: u64,
+    task: Task,
+}
+
 struct PoolInner {
     clock: Clock,
-    queue: Mutex<VecDeque<Task>>,
+    queue: Mutex<VecDeque<QueuedTask>>,
     /// Notified when a task is pushed or shutdown begins.
     available: Event,
     shutdown: AtomicBool,
@@ -37,6 +47,8 @@ struct PoolInner {
     /// Cumulative tasks finished across all workers, exposed as the
     /// `pool_tasks_executed` gauge (telemetry differences it per epoch).
     executed: AtomicU64,
+    /// Monotonic task-id source for enqueue/dequeue causal pairs.
+    next_task: AtomicU64,
     /// Observability: workers emit busy/idle spans into this tracer.
     tracer: Arc<Tracer>,
 }
@@ -81,6 +93,7 @@ impl TaskPool {
             shutdown: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
             executed: AtomicU64::new(0),
+            next_task: AtomicU64::new(0),
             tracer,
         });
         if inner.tracer.on() {
@@ -130,7 +143,18 @@ impl TaskPool {
             "execute on a shut-down pool"
         );
         self.inner.clock.advance(self.dispatch_cost);
-        self.inner.queue.lock().push_back(Box::new(task));
+        let id = self.inner.next_task.fetch_add(1, Ordering::Relaxed);
+        let entry = QueuedTask {
+            id,
+            enqueued_at: self.inner.tracer.now(),
+            task: Box::new(task),
+        };
+        let depth = {
+            let mut q = self.inner.queue.lock();
+            q.push_back(entry);
+            q.len() as u64
+        };
+        self.inner.tracer.record(EventKind::TaskEnqueue, id, depth);
         self.inner.clock.notify_all(&self.inner.available);
     }
 
@@ -221,8 +245,16 @@ fn worker_loop(inner: &PoolInner, index: usize) {
             q.pop_front()
         };
         match task {
-            Some(task) => {
+            Some(QueuedTask {
+                id,
+                enqueued_at,
+                task,
+            }) => {
                 inner.busy.fetch_add(1, Ordering::Relaxed);
+                if inner.tracer.on() {
+                    let delay = inner.tracer.now().saturating_sub(enqueued_at);
+                    inner.tracer.record(EventKind::TaskDequeue, id, delay);
+                }
                 let start = inner.tracer.span_start();
                 task();
                 inner

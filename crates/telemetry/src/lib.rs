@@ -1059,6 +1059,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_exposition_round_trips() {
+        // A run that records nothing and finishes at ts=0: zero epochs
+        // closed by ticks, so the exposition document is rendered from a
+        // completely empty window (no commits, empty histograms, no hot
+        // boxes, no gauges). The file must still parse and re-render byte
+        // for byte — zero-sample families and all.
+        let dir = std::env::temp_dir().join(format!("wtf-telemetry-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("metrics.prom");
+        let tracer = Tracer::new(TraceLevel::Lifecycle);
+        let mut cfg = test_cfg(100);
+        cfg.metrics_file = Some(path.clone());
+        let hub = TelemetryHub::attach(Arc::clone(&tracer), cfg, "mvstm", "empty");
+        let summary = hub.finish(0);
+        assert_eq!(summary.epochs_closed, 1, "only the forced partial epoch");
+        assert_eq!(summary.commits_total, 0);
+        let text = std::fs::read_to_string(&path).expect("exposition file written");
+        let doc = PromDoc::parse(&text).expect("empty-window exposition parses");
+        assert_eq!(doc.render(), text, "file is canonical → round-trips");
+        // Families that aggregate per-entity series are present but
+        // empty, rather than dropped (scrapers rely on stable families).
+        let hot = doc.family("wtf_hot_box_conflicts").expect("family kept");
+        assert!(hot.samples.is_empty());
+        for name in ["wtf_commit_latency", "wtf_queue_delay"] {
+            let fam = doc.family(name).expect("histogram family kept");
+            assert!(
+                fam.samples
+                    .iter()
+                    .any(|s| s.suffix == "_count" && s.value == PromValue::U64(0)),
+                "{name} exposes an explicit zero count"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn abort_storm_emits_incident_events_and_report() {
         let dir =
             std::env::temp_dir().join(format!("wtf-telemetry-incident-{}", std::process::id()));

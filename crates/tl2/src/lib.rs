@@ -379,7 +379,11 @@ impl StmBackend for Tl2Stm {
         for body in reads {
             let b = tl2_box(body);
             if b.slot.lock().version > snapshot {
+                // Mirror of mvstm's validation-failure record: identical
+                // `TxnAttemptAbort` payloads keep retry-lineage profiles
+                // comparable across backends.
                 tracer.charge_conflict(b.id.0);
+                tracer.record(EventKind::TxnAttemptAbort, b.id.0, snapshot);
                 return Err(b.id);
             }
         }

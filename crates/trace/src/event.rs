@@ -95,10 +95,35 @@ pub enum EventKind {
     /// A previously open incident recovered. a=incident kind code,
     /// b=recovery epoch index.
     IncidentEnd,
+    /// A future body incarnation started executing. a=future_id,
+    /// b=attempt index (0-based; bumps on every internal retry).
+    FutureAttemptBegin,
+    /// A future body incarnation aborted (doomed read or forward-
+    /// validation loss) and will retry. a=future_id, b=attempt index.
+    FutureAttemptAbort,
+    /// A future body incarnation finished executing (before settlement).
+    /// a=future_id, b=attempt index that succeeded.
+    FutureCompleted,
+    /// Span: an evaluation blocked waiting for a future to complete
+    /// (the join edge of the causal DAG). a=duration, b=future_id.
+    EvalWaitSpan,
+    /// Retry lineage: a fresh top-level incarnation replaces a cancelled
+    /// one after a full restart. a=new top_id, b=previous top_id.
+    TopRetry,
+    /// A task was pushed onto the pool queue (causal pair with
+    /// [`EventKind::TaskDequeue`]). a=task_id, b=queue depth after push.
+    TaskEnqueue,
+    /// A worker popped a task off the pool queue. a=task_id,
+    /// b=enqueue-to-dequeue delay (clock units).
+    TaskDequeue,
+    /// A backend-level commit attempt failed read validation (emitted by
+    /// both mvstm and tl2 so retry lineage profiles identically).
+    /// a=conflicting box id, b=snapshot version of the failed attempt.
+    TxnAttemptAbort,
 }
 
 /// All kinds, in discriminant order (export tables, tests).
-pub const ALL_KINDS: [EventKind; 29] = [
+pub const ALL_KINDS: [EventKind; 37] = [
     EventKind::TopBegin,
     EventKind::TopCommit,
     EventKind::TopConflictAbort,
@@ -128,6 +153,14 @@ pub const ALL_KINDS: [EventKind; 29] = [
     EventKind::TelemetryEpoch,
     EventKind::IncidentOnset,
     EventKind::IncidentEnd,
+    EventKind::FutureAttemptBegin,
+    EventKind::FutureAttemptAbort,
+    EventKind::FutureCompleted,
+    EventKind::EvalWaitSpan,
+    EventKind::TopRetry,
+    EventKind::TaskEnqueue,
+    EventKind::TaskDequeue,
+    EventKind::TxnAttemptAbort,
 ];
 
 impl EventKind {
@@ -163,6 +196,14 @@ impl EventKind {
             EventKind::TelemetryEpoch => "telemetry_epoch",
             EventKind::IncidentOnset => "incident_onset",
             EventKind::IncidentEnd => "incident_end",
+            EventKind::FutureAttemptBegin => "future_attempt_begin",
+            EventKind::FutureAttemptAbort => "future_attempt_abort",
+            EventKind::FutureCompleted => "future_completed",
+            EventKind::EvalWaitSpan => "eval_wait",
+            EventKind::TopRetry => "top_retry",
+            EventKind::TaskEnqueue => "task_enqueue",
+            EventKind::TaskDequeue => "task_dequeue",
+            EventKind::TxnAttemptAbort => "txn_attempt_abort",
         }
     }
 
@@ -181,6 +222,7 @@ impl EventKind {
                 | EventKind::PublishWaitSpan
                 | EventKind::WorkerBusySpan
                 | EventKind::WorkerIdleSpan
+                | EventKind::EvalWaitSpan
         )
     }
 
@@ -211,6 +253,14 @@ impl EventKind {
             EventKind::TxnCommit => ("version", "snapshot"),
             EventKind::TelemetryEpoch => ("epoch", "retained"),
             EventKind::IncidentOnset | EventKind::IncidentEnd => ("incident_kind", "epoch"),
+            EventKind::FutureAttemptBegin
+            | EventKind::FutureAttemptAbort
+            | EventKind::FutureCompleted => ("future", "attempt"),
+            EventKind::EvalWaitSpan => ("dur", "future"),
+            EventKind::TopRetry => ("top", "prev_top"),
+            EventKind::TaskEnqueue => ("task", "depth"),
+            EventKind::TaskDequeue => ("task", "delay"),
+            EventKind::TxnAttemptAbort => ("conflict_box", "snapshot"),
         }
     }
 }

@@ -26,6 +26,9 @@ pub struct RunResult {
     /// Sliding-window telemetry block (disabled default when the run had
     /// no [`RunSpec::telemetry`] config or tracing was off).
     pub telemetry: TelemetrySummary,
+    /// Causal critical-path profile (`wtf-profile` report block), present
+    /// when the run had [`RunSpec::profile`] set and tracing on.
+    pub profile: Option<Json>,
 }
 
 impl RunResult {
@@ -85,6 +88,7 @@ impl RunResult {
             ("dropped_events", self.trace.events_dropped.into()),
             ("trace", self.trace.to_json()),
             ("telemetry", self.telemetry.to_json()),
+            ("profile", self.profile.clone().unwrap_or(Json::Null)),
         ])
     }
 }
@@ -118,6 +122,11 @@ pub struct RunSpec {
     /// Workload label stamped on every exported metric series (and the
     /// incident report), so one exposition file can hold several runs.
     pub workload: &'static str,
+    /// Causal profiling for this run. [`RunSpec::new`] seeds it from the
+    /// `WTF_PROFILE` environment variable. Profiling needs the full event
+    /// stream, so (like `WTF_CHECK`) it deepens the tracer rings and
+    /// requires `trace` ≠ [`TraceLevel::Off`] to observe anything.
+    pub profile: bool,
 }
 
 /// Scoped backend override for workload sweeps — re-exported from
@@ -138,6 +147,7 @@ impl RunSpec {
             backend: BackendKind::from_env(),
             telemetry: TelemetryConfig::from_env(),
             workload: "run",
+            profile: profile_enabled(),
         }
     }
 
@@ -166,6 +176,12 @@ impl RunSpec {
         self.workload = workload;
         self
     }
+
+    /// Overrides causal profiling (tests want this independent of env).
+    pub fn with_profile(mut self, profile: bool) -> RunSpec {
+        self.profile = profile;
+        self
+    }
 }
 
 /// Runs `client` on `spec.clients` virtual threads over a fresh TM under a
@@ -180,10 +196,12 @@ pub fn run_virtual(spec: &RunSpec, client: ClientFn) -> RunResult {
 pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<Tracer>) {
     let clock = Clock::virtual_time();
     // `WTF_CHECK=1`: every traced run is re-verified by the offline
-    // serializability checker after it finishes. Checking needs the full
-    // event stream, so lanes get a much deeper ring than the default.
+    // serializability checker after it finishes. Checking and causal
+    // profiling both need the full event stream, so lanes get a much
+    // deeper ring than the default.
     let check = check_enabled() && spec.trace != TraceLevel::Off;
-    let tracer = if check {
+    let profiling = spec.profile && spec.trace != TraceLevel::Off;
+    let tracer = if check || profiling {
         Tracer::with_capacity(spec.trace, 1 << 18)
     } else {
         Tracer::new(spec.trace)
@@ -246,6 +264,16 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         tm.shutdown();
         (tm_stats, stm_stats, telemetry)
     });
+    let profile = if profiling {
+        // A truncated trace would silently misattribute the missing time,
+        // so (like WTF_CHECK) a dropped-events profile is a hard failure.
+        match wtf_profile::Profile::from_tracer_with_makespan(&tracer, clock.makespan()) {
+            Ok(p) => Some(p.report(10)),
+            Err(e) => panic!("WTF_PROFILE failed for this run: {e}"),
+        }
+    } else {
+        None
+    };
     let result = RunResult {
         makespan: clock.makespan(),
         completed: spec.units_per_client * spec.clients as u64,
@@ -254,6 +282,7 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         stm: stm_stats,
         trace: tracer.summary(),
         telemetry,
+        profile,
     };
     if check {
         match wtf_check::HistoryChecker::from_tracer(&tracer).verify() {
@@ -266,6 +295,10 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
 
 fn check_enabled() -> bool {
     std::env::var("WTF_CHECK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn profile_enabled() -> bool {
+    std::env::var("WTF_PROFILE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Deterministic xorshift64* generator for workload decisions. We keep a
@@ -408,6 +441,112 @@ mod tests {
         assert!(!res.trace.enabled());
         assert_eq!(res.trace.events_recorded, 0);
         assert_eq!(res.trace.commit_latency.count, 0);
+    }
+
+    /// Contended future-spawning workload used by the profiling tests:
+    /// every transaction submits a future and bumps a shared counter, so
+    /// runs exercise spawn/join edges and conflict-retry chains.
+    fn contended_future_client() -> ClientFn {
+        let holder: Arc<parking_lot::Mutex<Option<wtf_core::VBox<u64>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        Arc::new(move |_i, tm| {
+            let counter = {
+                let mut g = holder.lock();
+                g.get_or_insert_with(|| tm.new_vbox(0u64)).clone()
+            };
+            for _ in 0..3 {
+                let c2 = counter.clone();
+                tm.atomic(move |ctx| {
+                    let f = ctx.submit(move |c| {
+                        c.work(200);
+                        Ok(())
+                    })?;
+                    let v = ctx.read(&c2)?;
+                    ctx.write(&c2, v + 1)?;
+                    ctx.evaluate(&f)
+                })
+                .unwrap();
+            }
+        })
+    }
+
+    /// The acceptance gate of the profiling PR, end-to-end on the live
+    /// runtime: under *both* STM substrates the profile block is present,
+    /// its critical-path categories sum exactly to the run's makespan
+    /// (retry lineage included), and the whole report is byte-
+    /// deterministic under the virtual clock.
+    #[test]
+    fn profiled_run_partitions_makespan_on_both_backends() {
+        for kind in wtf_core::BackendKind::ALL {
+            let spec = RunSpec {
+                units_per_client: 3,
+                ..RunSpec::new(Semantics::WO_GAC, 2, 3)
+            }
+            .with_trace(TraceLevel::Lifecycle)
+            .with_backend(kind)
+            .with_profile(true);
+            let res = run_virtual(&spec, contended_future_client());
+            let profile = res.profile.clone().unwrap_or_else(|| {
+                panic!("profile block missing under {}", kind.name());
+            });
+            assert_eq!(
+                profile.get("makespan").and_then(|j| j.as_u64()),
+                Some(res.makespan),
+                "profile horizon == run makespan under {}",
+                kind.name()
+            );
+            assert_eq!(
+                profile
+                    .get("critical_path")
+                    .and_then(|c| c.get("length"))
+                    .and_then(|j| j.as_u64()),
+                Some(res.makespan),
+                "critical-path categories partition the makespan under {}",
+                kind.name()
+            );
+            // Both backends emit the same attempt lineage, so a retried
+            // run shows up in the counts block on either substrate.
+            assert!(
+                profile
+                    .get("counts")
+                    .and_then(|c| c.get("txn_attempt_aborts"))
+                    .and_then(|j| j.as_u64())
+                    .is_some(),
+                "counts block present under {}",
+                kind.name()
+            );
+            let res2 = run_virtual(&spec, contended_future_client());
+            assert_eq!(
+                profile.to_string(),
+                res2.profile.expect("second run profiled").to_string(),
+                "profile is byte-deterministic under {}",
+                kind.name()
+            );
+        }
+    }
+
+    /// `RunResult::to_json` carries the profile block under its own key
+    /// (after `telemetry`), and `null` when profiling was off.
+    #[test]
+    fn run_result_json_carries_profile_block() {
+        let spec = RunSpec {
+            units_per_client: 2,
+            ..RunSpec::new(Semantics::WO_GAC, 1, 2)
+        }
+        .with_trace(TraceLevel::Lifecycle)
+        .with_profile(true);
+        let res = run_virtual(&spec, contended_future_client());
+        let doc = Json::parse(&res.to_json().to_string()).unwrap();
+        assert_eq!(
+            doc.get("profile")
+                .and_then(|p| p.get("schema"))
+                .and_then(|s| s.as_str()),
+            Some("wtf-profile/v1")
+        );
+
+        let off = run_virtual(&spec.clone().with_profile(false), contended_future_client());
+        let doc = Json::parse(&off.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("profile"), Some(&Json::Null));
     }
 
     #[test]

@@ -282,6 +282,7 @@ pub fn read_only_nt(cfg: &SyntheticConfig, clients: usize, parallel: bool) -> Ru
         stm: Default::default(),
         trace: Default::default(),
         telemetry: Default::default(),
+        profile: None,
     }
 }
 
