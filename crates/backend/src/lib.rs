@@ -33,6 +33,7 @@
 use std::any::Any;
 use std::marker::PhantomData;
 use std::sync::Arc;
+use wtf_cm::ContentionManager;
 use wtf_mvstm::raw::{self, BoxBody};
 use wtf_mvstm::{
     downcast_value, Aborted, BoxId, FxHashMap, Stm, StmError, StmStatsSnapshot, TxResult, TxValue,
@@ -220,6 +221,17 @@ pub trait StmBackend: Send + Sync {
     /// has any (no-op on single-version backends).
     fn set_gc_enabled(&self, enabled: bool);
 
+    /// The contention manager this backend's retry loops consult — one
+    /// shared policy instance per backend, so the generic [`atomic`]
+    /// loop, any native loop (mvstm's `Stm::atomic`) and `wtf-core`'s
+    /// top-level loop see the same karma ledger / hotspot gates.
+    fn cm(&self) -> Arc<dyn ContentionManager>;
+
+    /// Installs a contention manager (the `FutureTm::builder().cm(..)`
+    /// plumbing). In-flight retry loops finish on the policy they
+    /// started with.
+    fn set_cm(&self, cm: Arc<dyn ContentionManager>);
+
     /// Creates a box initialized to `value`, stamped at the current clock.
     fn new_box(&self, value: Value) -> Arc<dyn BackendBox>;
 
@@ -340,6 +352,14 @@ impl StmBackend for MvstmBackend {
         self.stm.set_gc_enabled(enabled);
     }
 
+    fn cm(&self) -> Arc<dyn ContentionManager> {
+        self.stm.cm()
+    }
+
+    fn set_cm(&self, cm: Arc<dyn ContentionManager>) {
+        self.stm.set_cm(cm);
+    }
+
     fn new_box(&self, value: Value) -> Arc<dyn BackendBox> {
         Arc::new(MvBox::new(raw::new_box_body(&self.stm, value)))
     }
@@ -440,6 +460,10 @@ pub struct BackendTxn<'s> {
     /// re-emits (see `wtf_mvstm::Txn` for the GC argument).
     read_set: FxHashMap<BoxId, (Arc<dyn BackendBox>, u64)>,
     write_set: FxHashMap<BoxId, (Arc<dyn BackendBox>, Value)>,
+    /// The box a failed read was charged to (single-version backends),
+    /// kept so [`atomic`] can attribute the abort to its contention
+    /// manager even though the `Err(Conflict)` itself carries no id.
+    conflict_box: Option<BoxId>,
 }
 
 impl<'s> BackendTxn<'s> {
@@ -449,6 +473,7 @@ impl<'s> BackendTxn<'s> {
             backend,
             read_set: FxHashMap::default(),
             write_set: FxHashMap::default(),
+            conflict_box: None,
         }
     }
 
@@ -465,7 +490,13 @@ impl<'s> BackendTxn<'s> {
         if let Some((_, v)) = self.write_set.get(&id) {
             return Ok(downcast_value(v));
         }
-        let (version, value) = tbox.body().read_at(self.snapshot.version())?;
+        let (version, value) = match tbox.body().read_at(self.snapshot.version()) {
+            Ok(read) => read,
+            Err(e) => {
+                self.conflict_box = Some(id);
+                return Err(e);
+            }
+        };
         self.backend
             .tracer()
             .record_full(EventKind::StmRead, id.0, version);
@@ -487,9 +518,23 @@ impl<'s> BackendTxn<'s> {
         Err(StmError::UserAbort)
     }
 
+    /// The box a failed [`BackendTxn::read`] charged this transaction's
+    /// conflict to, if any (the contention manager's attribution input).
+    pub fn conflict_box(&self) -> Option<BoxId> {
+        self.conflict_box
+    }
+
     /// Validates and publishes. A `Conflict` outside [`atomic`]'s retry
     /// loop (i.e. from the schedule explorers) is a final abort.
     pub fn commit(self) -> Result<(), StmError> {
+        self.commit_with_attribution()
+            .map_err(|_| StmError::Conflict)
+    }
+
+    /// Like [`BackendTxn::commit`], but a validation failure names the
+    /// box whose check failed — what [`atomic`] feeds the contention
+    /// manager. Read-only commits cannot conflict.
+    pub fn commit_with_attribution(self) -> Result<(), BoxId> {
         let backend = self.backend;
         let snapshot = self.snapshot.version();
         if self.write_set.is_empty() {
@@ -503,9 +548,7 @@ impl<'s> BackendTxn<'s> {
         let reads: Vec<Arc<dyn BackendBox>> =
             self.read_set.values().map(|(b, _)| b.clone()).collect();
         let writes: Vec<(Arc<dyn BackendBox>, Value)> = self.write_set.into_values().collect();
-        let version = backend
-            .commit_attributed(snapshot, &reads, writes)
-            .map_err(|_| StmError::Conflict)?;
+        let version = backend.commit_attributed(snapshot, &reads, writes)?;
         Self::record_commit(backend, &self.read_set, version, snapshot);
         Ok(())
     }
@@ -533,22 +576,43 @@ impl<'s> BackendTxn<'s> {
 }
 
 /// Runs `f` as a transaction on `backend`, retrying on conflicts until it
-/// commits — the backend-generic analogue of `Stm::atomic`.
+/// commits — the backend-generic analogue of `Stm::atomic`. Every
+/// conflict abort is attributed (the failed read's box on single-version
+/// backends, the failed validation's box at commit) and reported to the
+/// backend's [contention manager](StmBackend::cm), whose wait is applied
+/// before the retry.
 pub fn atomic<T>(
     backend: &dyn StmBackend,
     mut f: impl FnMut(&mut BackendTxn) -> TxResult<T>,
 ) -> Result<T, Aborted> {
+    let cm = backend.cm();
+    let actor = cm.begin_txn();
+    wtf_cm::pause_at_begin(&*cm, backend.tracer(), actor);
+    let mut streak = 0u32;
     loop {
+        let attempt_start = wtf_cm::attempt_now();
         let mut txn = BackendTxn::begin(backend);
-        match f(&mut txn) {
-            Ok(value) => match txn.commit() {
-                Ok(()) => return Ok(value),
-                Err(StmError::Conflict) => backend.note_abort(),
-                Err(StmError::UserAbort) => return Err(Aborted),
+        let conflict_box = match f(&mut txn) {
+            Ok(value) => match txn.commit_with_attribution() {
+                Ok(()) => {
+                    cm.on_commit(actor);
+                    return Ok(value);
+                }
+                Err(box_id) => Some(box_id),
             },
-            Err(StmError::Conflict) => backend.note_abort(),
+            Err(StmError::Conflict) => txn.conflict_box(),
             Err(StmError::UserAbort) => return Err(Aborted),
-        }
+        };
+        backend.note_abort();
+        streak += 1;
+        wtf_cm::pause_after_abort(
+            &*cm,
+            backend.tracer(),
+            actor,
+            conflict_box.map(|b| b.0),
+            streak,
+            attempt_start,
+        );
     }
 }
 

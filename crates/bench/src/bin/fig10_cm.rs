@@ -1,0 +1,167 @@
+//! Fig. 10 (repo extension): contention management on the Zipf hot-box.
+//!
+//! Not a figure from the paper — §5's workloads all run under immediate
+//! retry. This sweep measures what the `wtf-cm` policies buy on the
+//! futures workload they were built for: tasks reading and
+//! read-modify-writing a Zipf(θ)-skewed array, so conflict mass
+//! concentrates on a few hot slots and wasted executions compound —
+//! a doomed future drags its continuation and re-execution with it.
+//!
+//! Per (backend, clients) cell the report carries one comparison row:
+//! `immediate` as the baseline plus one `{cm}_speedup` per policy
+//! (committed-work throughput relative to immediate) and the full
+//! [`RunResult`] dumps. `wtf-bench-diff` gates the speedups at ±15%, so
+//! a policy regression against the checked-in baseline fails CI.
+//!
+//! Expected shape, asserted below for the contended cells (8 clients ×
+//! 4 tasks of parallelism): `hotspot` (per-box abort attribution → a
+//! slotted admission gate) and `karma` (priority per aborted work, with
+//! aligned repeat-victim windows) both beat immediate retry on
+//! throughput *and* waste fewer executions — total aborts drop — on
+//! both substrates. Blind `backoff` pays its waits without the
+//! attribution; `adaptive` flips WO→SO at submission under storm and
+//! usually leads the field.
+
+use wtf_bench::{f3, table_row, FigReport};
+use wtf_core::{BackendKind, CmKind, Semantics};
+use wtf_workloads::zipf::{zipf_hotbox_spec, ZipfConfig};
+use wtf_workloads::{RunResult, RunSpec};
+
+/// The contended Zipf cell: a small array under heavy skew; two hot
+/// read-modify-writes per task are enough to make the low ranks collide
+/// without fully serializing the run (a fully serialized hot chain
+/// leaves a contention manager nothing to win back — immediate retry
+/// keeps the commit chain dense, and overlapped wasted attempts are
+/// free off the critical path).
+fn cfg() -> ZipfConfig {
+    ZipfConfig {
+        array_size: 64,
+        theta: 1.2,
+        reads_per_task: 16,
+        writes_per_task: 2,
+        iter: 200,
+        tasks_per_tx: 4,
+        txs_per_client: 6,
+        seed: 0xc017,
+    }
+}
+
+const POLICIES: [CmKind; 4] = [
+    CmKind::Backoff,
+    CmKind::Karma,
+    CmKind::Hotspot,
+    CmKind::Adaptive,
+];
+
+fn run_cell(backend: BackendKind, cm: CmKind, clients: usize) -> RunResult {
+    let cfg = cfg();
+    let spec = RunSpec {
+        units_per_client: (cfg.txs_per_client * cfg.tasks_per_tx) as u64,
+        workers: clients * cfg.tasks_per_tx + 2,
+        ..RunSpec::new(Semantics::WO_GAC, clients, 1)
+    }
+    .with_workload("fig10_cm")
+    .with_backend(backend)
+    .with_cm(cm);
+    zipf_hotbox_spec(&cfg, &spec, clients)
+}
+
+/// Executions wasted, whoever wasted them: final top-level conflicts
+/// plus internal (future/continuation) restarts.
+fn total_aborts(r: &RunResult) -> u64 {
+    r.tm.top_aborts + r.tm.top_internal_restarts
+}
+
+fn main() {
+    let mut report = FigReport::begin(
+        "fig10_cm",
+        "Fig. 10 (extension: contention management, Zipf hot-box)",
+        "Fig 10: throughput vs immediate retry + total aborts, by backend × clients",
+        &[
+            "backend",
+            "cm",
+            "clients",
+            "speedup",
+            "total_aborts",
+            "makespan",
+        ],
+    );
+    for backend in BackendKind::ALL {
+        for clients in [2usize, 4, 8] {
+            let imm = run_cell(backend, CmKind::Immediate, clients);
+            table_row(&[
+                &backend.name(),
+                &"immediate",
+                &clients,
+                &f3(1.0),
+                &total_aborts(&imm),
+                &imm.makespan,
+            ]);
+            let runs: Vec<(CmKind, RunResult)> = POLICIES
+                .iter()
+                .map(|&cm| (cm, run_cell(backend, cm, clients)))
+                .collect();
+            for (cm, r) in &runs {
+                table_row(&[
+                    &backend.name(),
+                    &cm.name(),
+                    &clients,
+                    &f3(r.speedup_vs(&imm)),
+                    &total_aborts(r),
+                    &r.makespan,
+                ]);
+            }
+            // Attribution-driven policies must win the contended cells:
+            // more committed work per virtual time *and* fewer wasted
+            // executions than immediate retry, on both substrates.
+            if clients >= 8 {
+                for (cm, r) in &runs {
+                    if matches!(cm, CmKind::Karma | CmKind::Hotspot) {
+                        assert!(
+                            r.speedup_vs(&imm) > 1.0,
+                            "{}/{} at {clients} clients: speedup {:.3} <= 1 vs immediate",
+                            backend.name(),
+                            cm.name(),
+                            r.speedup_vs(&imm),
+                        );
+                        assert!(
+                            total_aborts(r) < total_aborts(&imm),
+                            "{}/{} at {clients} clients: {} aborts vs immediate's {}",
+                            backend.name(),
+                            cm.name(),
+                            total_aborts(r),
+                            total_aborts(&imm),
+                        );
+                    }
+                }
+            }
+            let systems: Vec<(&str, &RunResult)> =
+                runs.iter().map(|(cm, r)| (cm.name(), r)).collect();
+            report.comparison_row(
+                vec![
+                    ("backend", backend.name().into()),
+                    ("clients", clients.into()),
+                ],
+                ("immediate", &imm),
+                &systems,
+            );
+        }
+    }
+    report.backend_comparison(
+        &[("cm", "karma".into()), ("clients", 8usize.into())],
+        || {
+            // `with_backend` pins the substrate via the env override, so
+            // the spec must leave its backend at the from-env default.
+            let cfg = cfg();
+            let spec = RunSpec {
+                units_per_client: (cfg.txs_per_client * cfg.tasks_per_tx) as u64,
+                workers: 8 * cfg.tasks_per_tx + 2,
+                ..RunSpec::new(Semantics::WO_GAC, 8, 1)
+            }
+            .with_workload("fig10_cm")
+            .with_cm(CmKind::Karma);
+            zipf_hotbox_spec(&cfg, &spec, 8)
+        },
+    );
+    report.emit();
+}

@@ -3,10 +3,10 @@
 //! path — must produce a checker-clean history.
 
 use wtf_check::explore::{
-    explore_backend, explore_core_delays, explore_core_delays_on, explore_mvstm, schedule_count,
-    StepOp,
+    explore_backend, explore_core_delays, explore_core_delays_cm, explore_core_delays_on,
+    explore_mvstm, schedule_count, StepOp,
 };
-use wtf_core::{BackendKind, Semantics};
+use wtf_core::{BackendKind, CmKind, Semantics};
 use StepOp::{Commit, Read, Write};
 
 /// Two conflicting read-modify-write transactions on one box: all 20
@@ -151,6 +151,36 @@ fn tl2_explores_core_delay_grid() {
     }
 }
 
+/// The contention manager as a third explorer dimension: the delay grid
+/// swept under `immediate`, `backoff` and `karma` on both substrates.
+/// Waiting policies inject their own clock advances, shifting every
+/// cell's schedule — yet every cell must commit both clients (the CM
+/// may reorder, never starve) and pass the checker, which demands an
+/// acyclic §3.4 serialization witness for each run.
+#[test]
+fn explores_core_delay_grid_across_cms() {
+    for backend in [BackendKind::Mvstm, BackendKind::Tl2] {
+        for cm in [CmKind::Immediate, CmKind::Backoff, CmKind::Karma] {
+            let report =
+                explore_core_delays_cm(backend, Semantics::WO_GAC, cm, &[0, 2_500]).unwrap();
+            assert_eq!(report.schedules, 16, "{backend:?}/{cm:?}");
+            assert_eq!(report.commits, 32, "{backend:?}/{cm:?}");
+        }
+    }
+}
+
+/// CM-shifted schedules stay deterministic: the same (backend, cm,
+/// grid) cell swept twice yields the identical aggregate report,
+/// witness choices included.
+#[test]
+fn cm_explorer_sweeps_are_reproducible() {
+    for cm in [CmKind::Backoff, CmKind::Karma] {
+        let a = explore_core_delays_cm(BackendKind::Mvstm, Semantics::SO, cm, &[0, 800]).unwrap();
+        let b = explore_core_delays_cm(BackendKind::Mvstm, Semantics::SO, cm, &[0, 800]).unwrap();
+        assert_eq!(a, b, "{cm:?}");
+    }
+}
+
 /// Wider CI configuration (runs in the scheduled deep-verify job):
 /// `cargo test -p wtf-check --release -- --ignored`.
 #[test]
@@ -165,14 +195,15 @@ fn explores_deep_configurations() {
     let report = explore_mvstm(&programs, 1).unwrap();
     assert_eq!(report.schedules, 1680);
 
-    // Write skew plus an observer: 34650 schedules.
+    // Write skew plus an observer: 11!/(4!4!3!) = 11550 schedules.
     let programs = vec![
         vec![Read(0), Read(1), Write(0, 1), Commit],
         vec![Read(0), Read(1), Write(1, 1), Commit],
         vec![Read(0), Read(1), Commit],
     ];
+    assert_eq!(schedule_count(&programs), 11_550);
     let report = explore_mvstm(&programs, 2).unwrap();
-    assert_eq!(report.schedules, 34_650);
+    assert_eq!(report.schedules, 11_550);
 
     // Finer delay grid through the futures path.
     for sem in [Semantics::WO_GAC, Semantics::WO_LAC, Semantics::SO] {
@@ -202,10 +233,26 @@ fn tl2_explores_deep_configurations() {
         vec![Read(0), Read(1), Commit],
     ];
     let report = explore_backend(BackendKind::Tl2, &programs, 2).unwrap();
-    assert_eq!(report.schedules, 34_650);
+    assert_eq!(report.schedules, 11_550);
 
     for sem in [Semantics::WO_GAC, Semantics::WO_LAC, Semantics::SO] {
         let report = explore_core_delays_on(BackendKind::Tl2, sem, &[0, 800, 2_500]).unwrap();
         assert_eq!(report.schedules, 81, "{sem:?}");
+    }
+}
+
+/// Deep CM sweep (scheduled deep-verify job): the finer delay grid
+/// crossed with every waiting policy on both substrates.
+#[test]
+#[ignore = "CI deep-verify: thousands of schedules"]
+fn cm_explores_deep_configurations() {
+    for backend in [BackendKind::Mvstm, BackendKind::Tl2] {
+        for cm in [CmKind::Immediate, CmKind::Backoff, CmKind::Karma] {
+            for sem in [Semantics::WO_GAC, Semantics::SO] {
+                let report = explore_core_delays_cm(backend, sem, cm, &[0, 800, 2_500]).unwrap();
+                assert_eq!(report.schedules, 81, "{backend:?}/{cm:?}/{sem:?}");
+                assert_eq!(report.commits, 162, "{backend:?}/{cm:?}/{sem:?}");
+            }
+        }
     }
 }

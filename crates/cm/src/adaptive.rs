@@ -1,0 +1,180 @@
+//! Adaptive future serialization: flip WO futures to SO-at-submission
+//! when the internal abort rate says optimism is losing.
+//!
+//! WO (submission-order-free) futures are the paper's throughput win,
+//! but under a dense conflict storm their speculative attempts mostly
+//! abort and re-execute — at that point serializing futures at
+//! submission (the SO regime) wastes less work than optimism does. This
+//! policy watches the stream of future-body attempt outcomes in windows
+//! of `window` attempts and feeds "the window was storm-hot" into a
+//! [`Hysteresis`] — the *same* trigger/recover state machine the
+//! telemetry incident detector debounces abort storms with — so the
+//! flip has onset/recovery edges rather than flapping per attempt.
+//!
+//! The flip itself is sampled once per top-level at `TopLevel::begin`
+//! (`serialize_at_submission`), so a single transaction never mixes
+//! orderings mid-flight. Abort waits delegate to a standard
+//! [`BackoffCm`] schedule.
+
+use crate::{AdaptiveFlip, BackoffCm, CmCounters, CmDecision, CmKind, CmStats, ContentionManager};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use wtf_telemetry::{Hysteresis, HysteresisEdge};
+
+#[derive(Debug)]
+struct FlipState {
+    attempts: u32,
+    aborts: u32,
+    hys: Hysteresis,
+}
+
+pub struct AdaptiveCm {
+    backoff: BackoffCm,
+    /// Attempts per decision window.
+    window: u32,
+    /// Window abort rate (per-mille) at or above which it counts as hot.
+    hot_per_mille: u64,
+    state: Mutex<FlipState>,
+    strong: AtomicBool,
+    counters: CmCounters,
+}
+
+impl AdaptiveCm {
+    pub fn new(window: u32, hot_per_mille: u64, trigger: u32, recover: u32) -> AdaptiveCm {
+        assert!(window > 0 && hot_per_mille <= 1000);
+        AdaptiveCm {
+            backoff: BackoffCm::default(),
+            window,
+            hot_per_mille,
+            state: Mutex::new(FlipState {
+                attempts: 0,
+                aborts: 0,
+                hys: Hysteresis::new(trigger, recover),
+            }),
+            strong: AtomicBool::new(false),
+            counters: CmCounters::default(),
+        }
+    }
+}
+
+impl Default for AdaptiveCm {
+    fn default() -> AdaptiveCm {
+        AdaptiveCm::new(16, 500, 1, 2)
+    }
+}
+
+impl ContentionManager for AdaptiveCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Adaptive
+    }
+
+    fn begin_txn(&self) -> u64 {
+        self.backoff.begin_txn()
+    }
+
+    fn on_abort(
+        &self,
+        actor: u64,
+        conflict_box: Option<u64>,
+        streak: u32,
+        work: u64,
+        now: u64,
+    ) -> CmDecision {
+        // Wait accounting lives in the inner backoff; `stats` merges it.
+        self.backoff
+            .on_abort(actor, conflict_box, streak, work, now)
+    }
+
+    fn on_commit(&self, actor: u64) {
+        self.backoff.on_commit(actor);
+    }
+
+    fn note_future_attempt(&self, aborted: bool, _now: u64) -> Option<AdaptiveFlip> {
+        let mut s = self.state.lock();
+        s.attempts += 1;
+        if aborted {
+            s.aborts += 1;
+        }
+        if s.attempts < self.window {
+            return None;
+        }
+        let rate_per_mille = s.aborts as u64 * 1000 / s.attempts as u64;
+        s.attempts = 0;
+        s.aborts = 0;
+        let edge = s.hys.observe(rate_per_mille >= self.hot_per_mille);
+        drop(s);
+        let to_strong = match edge? {
+            HysteresisEdge::Opened => true,
+            HysteresisEdge::Recovered => false,
+        };
+        self.strong.store(to_strong, Ordering::SeqCst);
+        self.counters.count_flip();
+        Some(AdaptiveFlip {
+            to_strong,
+            rate_per_mille,
+        })
+    }
+
+    fn serialize_at_submission(&self) -> bool {
+        self.strong.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> CmStats {
+        let mut s = self.counters.snapshot();
+        let b = self.backoff.stats();
+        s.waits = b.waits;
+        s.total_wait = b.total_wait;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(cm: &AdaptiveCm, attempts: u32, aborted: bool) -> Option<AdaptiveFlip> {
+        let mut last = None;
+        for _ in 0..attempts {
+            if let Some(f) = cm.note_future_attempt(aborted, 0) {
+                last = Some(f);
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn storm_flips_to_strong_calm_flips_back() {
+        let cm = AdaptiveCm::new(8, 500, 1, 2);
+        assert!(!cm.serialize_at_submission());
+        // One hot window (all aborted) opens the flip.
+        let flip = feed(&cm, 8, true).expect("hot window flips");
+        assert!(flip.to_strong);
+        assert_eq!(flip.rate_per_mille, 1000);
+        assert!(cm.serialize_at_submission());
+        // One calm window is not enough (recover = 2)...
+        assert_eq!(feed(&cm, 8, false), None);
+        assert!(cm.serialize_at_submission());
+        // ...the second calm window flips back.
+        let back = feed(&cm, 8, false).expect("calm windows recover");
+        assert!(!back.to_strong);
+        assert!(!cm.serialize_at_submission());
+        assert_eq!(cm.stats().adaptive_flips, 2);
+    }
+
+    #[test]
+    fn partial_windows_do_not_decide() {
+        let cm = AdaptiveCm::new(16, 500, 1, 1);
+        assert_eq!(feed(&cm, 15, true), None, "window not full yet");
+        assert!(!cm.serialize_at_submission());
+    }
+
+    #[test]
+    fn sub_threshold_rate_stays_weak() {
+        let cm = AdaptiveCm::new(10, 500, 1, 1);
+        for i in 0..10 {
+            cm.note_future_attempt(i < 4, 0); // 400 per-mille < 500
+        }
+        assert!(!cm.serialize_at_submission());
+        assert_eq!(cm.stats().adaptive_flips, 0);
+    }
+}

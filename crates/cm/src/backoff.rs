@@ -1,0 +1,114 @@
+//! Capped exponential backoff.
+//!
+//! The classic randomized-backoff manager, made deterministic: the wait
+//! is a pure function of the actor's consecutive-abort streak,
+//! `min(base << (streak - 1), cap)`, with no jitter. Under the virtual
+//! clock randomized jitter buys nothing (the scheduler is deterministic
+//! anyway) and would cost reproducibility.
+
+use crate::{ActorSource, CmCounters, CmDecision, CmKind, CmStats, ContentionManager};
+
+pub struct BackoffCm {
+    base: u64,
+    cap: u64,
+    actors: ActorSource,
+    counters: CmCounters,
+}
+
+impl BackoffCm {
+    /// `base`: wait after the first abort; doubles per consecutive abort
+    /// up to `cap`. The defaults are sized against the calibrated cost
+    /// model (an STM commit is ~400 units, a Zipf task a few thousand):
+    /// first retry backs off about one commit, a hopeless streak parks
+    /// for about one task.
+    pub fn new(base: u64, cap: u64) -> BackoffCm {
+        assert!(base > 0 && cap >= base, "backoff needs 0 < base <= cap");
+        BackoffCm {
+            base,
+            cap,
+            actors: ActorSource::default(),
+            counters: CmCounters::default(),
+        }
+    }
+
+    /// The wait for a given streak — exposed so tests (and the proptest
+    /// monotonicity oracle) can query the schedule directly.
+    pub fn wait_for_streak(&self, streak: u32) -> u64 {
+        if streak == 0 {
+            return 0;
+        }
+        // Widen before shifting: `u64 << 63` silently drops the high
+        // bits, which would wrap a huge streak back to a tiny wait.
+        let shift = (streak - 1).min(63);
+        ((self.base as u128) << shift).min(self.cap as u128) as u64
+    }
+}
+
+impl Default for BackoffCm {
+    fn default() -> BackoffCm {
+        BackoffCm::new(400, 12_800)
+    }
+}
+
+impl ContentionManager for BackoffCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Backoff
+    }
+
+    fn begin_txn(&self) -> u64 {
+        self.actors.next()
+    }
+
+    fn on_abort(
+        &self,
+        _actor: u64,
+        _conflict_box: Option<u64>,
+        streak: u32,
+        _work: u64,
+        _now: u64,
+    ) -> CmDecision {
+        let wait = self.wait_for_streak(streak);
+        self.counters.count_wait(wait);
+        CmDecision {
+            wait,
+            flagged: None,
+        }
+    }
+
+    fn on_commit(&self, _actor: u64) {}
+
+    fn stats(&self) -> CmStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_then_caps() {
+        let cm = BackoffCm::new(100, 800);
+        let waits: Vec<u64> = (1..=6).map(|s| cm.wait_for_streak(s)).collect();
+        assert_eq!(waits, vec![100, 200, 400, 800, 800, 800]);
+    }
+
+    #[test]
+    fn huge_streaks_do_not_overflow() {
+        let cm = BackoffCm::new(400, 12_800);
+        assert_eq!(cm.wait_for_streak(u32::MAX), 12_800);
+        assert_eq!(cm.wait_for_streak(64), 12_800);
+    }
+
+    #[test]
+    fn stats_accumulate_waits() {
+        let cm = BackoffCm::new(100, 800);
+        let a = cm.begin_txn();
+        cm.on_abort(a, None, 1, 0, 0);
+        cm.on_abort(a, None, 2, 0, 100);
+        let s = cm.stats();
+        assert_eq!(s.waits, 2);
+        assert_eq!(s.total_wait, 300);
+        assert_eq!(s.serialized_boxes, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Hotspot: serialize admission to boxes with abort streaks.
+//!
+//! The tracer already attributes every conflict abort to a concrete
+//! `BoxId`; this policy subscribes to that attribution (the
+//! `conflict_box` argument of `on_abort`) and keeps a per-box
+//! consecutive-abort streak. When a box's streak crosses the threshold
+//! the box is *flagged*: for the next `window` virtual-time units,
+//! transactions that abort on it are admitted one-at-a-time through a
+//! striped gate — each loser is scheduled `slot` units after the
+//! previous one (the same fetch-max free-at pattern `wtf-vclock` uses
+//! for [`Resource`](wtf_vclock) horizons), so the pile-up drains as a
+//! queue instead of a thundering herd. Gates always expire: any
+//! consultation at `now >= deadline` drops the gate and resets the
+//! box's streak, which the proptest release oracle pins down.
+//!
+//! State is striped 64 ways by the same Fibonacci hash TL2 uses for its
+//! lock stripes, so the hot path contends no more than the substrate
+//! it protects.
+
+use crate::{ActorSource, CmCounters, CmDecision, CmKind, CmStats, ContentionManager};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+const STRIPES: usize = 64;
+
+fn stripe_index(box_id: u64) -> usize {
+    (box_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Gate {
+    /// Gate expires at this virtual time; consultations at or past it
+    /// remove the gate.
+    deadline: u64,
+    /// Next admission slot (the fetch-max horizon).
+    free_at: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stripe {
+    /// Consecutive aborts charged to each box (reset on flag/expiry).
+    streaks: BTreeMap<u64, u32>,
+    gates: BTreeMap<u64, Gate>,
+}
+
+pub struct HotspotCm {
+    /// Consecutive aborts on one box before it gets flagged.
+    threshold: u32,
+    /// How long a flagged box stays gated (virtual-time units).
+    window: u64,
+    /// Spacing between admissions through an open gate.
+    slot: u64,
+    stripes: [Mutex<Stripe>; STRIPES],
+    actors: ActorSource,
+    counters: CmCounters,
+}
+
+impl HotspotCm {
+    pub fn new(threshold: u32, window: u64, slot: u64) -> HotspotCm {
+        assert!(threshold > 0 && window > 0 && slot > 0);
+        HotspotCm {
+            threshold,
+            window,
+            slot,
+            stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+            actors: ActorSource::default(),
+            counters: CmCounters::default(),
+        }
+    }
+
+    /// Whether `box_id` is gated at `now` (expired gates are purged by
+    /// the query, so the release oracle can poll this directly).
+    pub fn is_gated(&self, box_id: u64, now: u64) -> bool {
+        let mut stripe = self.stripes[stripe_index(box_id)].lock();
+        match stripe.gates.get(&box_id) {
+            Some(g) if now < g.deadline => true,
+            Some(_) => {
+                stripe.gates.remove(&box_id);
+                stripe.streaks.remove(&box_id);
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+impl Default for HotspotCm {
+    fn default() -> HotspotCm {
+        HotspotCm::new(2, 30_000, 5_000)
+    }
+}
+
+impl ContentionManager for HotspotCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Hotspot
+    }
+
+    fn begin_txn(&self) -> u64 {
+        self.actors.next()
+    }
+
+    fn on_abort(
+        &self,
+        _actor: u64,
+        conflict_box: Option<u64>,
+        _streak: u32,
+        _work: u64,
+        now: u64,
+    ) -> CmDecision {
+        let Some(box_id) = conflict_box else {
+            return CmDecision::default();
+        };
+        let mut stripe = self.stripes[stripe_index(box_id)].lock();
+        // Expired gate: release it and start the box's streak fresh.
+        if let Some(g) = stripe.gates.get(&box_id).copied() {
+            if now >= g.deadline {
+                stripe.gates.remove(&box_id);
+                stripe.streaks.remove(&box_id);
+            }
+        }
+        if let Some(g) = stripe.gates.get_mut(&box_id) {
+            // Gated: admit this loser at the next free slot.
+            let t = g.free_at.max(now);
+            g.free_at = t + self.slot;
+            let wait = t - now;
+            drop(stripe);
+            self.counters.count_wait(wait);
+            return CmDecision {
+                wait,
+                flagged: None,
+            };
+        }
+        let streak = stripe.streaks.entry(box_id).or_insert(0);
+        *streak += 1;
+        if *streak < self.threshold {
+            return CmDecision::default();
+        }
+        // Flag the box: open a gate and send this loser to its first slot.
+        let deadline = now + self.window;
+        stripe.gates.insert(
+            box_id,
+            Gate {
+                deadline,
+                free_at: now + 2 * self.slot,
+            },
+        );
+        drop(stripe);
+        self.counters.count_flag();
+        self.counters.count_wait(self.slot);
+        CmDecision {
+            wait: self.slot,
+            flagged: Some((box_id, deadline)),
+        }
+    }
+
+    fn on_commit(&self, _actor: u64) {}
+
+    fn stats(&self) -> CmStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streak_below_threshold_is_free() {
+        let cm = HotspotCm::new(3, 1_000, 100);
+        assert_eq!(cm.on_abort(0, Some(5), 1, 0, 0), CmDecision::default());
+        assert_eq!(cm.on_abort(1, Some(5), 1, 0, 10), CmDecision::default());
+        assert!(!cm.is_gated(5, 10));
+    }
+
+    #[test]
+    fn third_abort_flags_and_gates_the_box() {
+        let cm = HotspotCm::new(3, 1_000, 100);
+        cm.on_abort(0, Some(5), 1, 0, 0);
+        cm.on_abort(1, Some(5), 1, 0, 10);
+        let d = cm.on_abort(2, Some(5), 1, 0, 20);
+        assert_eq!(d.flagged, Some((5, 1_020)), "deadline = now + window");
+        assert_eq!(d.wait, 100, "flagging loser takes the first slot");
+        assert!(cm.is_gated(5, 20));
+        // Next loser lands one slot later: free_at was 220.
+        let d2 = cm.on_abort(3, Some(5), 1, 0, 30);
+        assert_eq!(d2.flagged, None, "only the transition flags");
+        assert_eq!(d2.wait, 190, "admitted at 220, now 30... 190");
+        assert_eq!(cm.stats().serialized_boxes, 1);
+    }
+
+    #[test]
+    fn gate_expires_at_deadline() {
+        let cm = HotspotCm::new(1, 500, 100);
+        let d = cm.on_abort(0, Some(9), 1, 0, 0);
+        assert!(d.flagged.is_some());
+        assert!(cm.is_gated(9, 499));
+        assert!(!cm.is_gated(9, 500), "released exactly at the deadline");
+        // Post-expiry abort starts a fresh streak, no immediate re-flag
+        // needed at threshold 1 -> it re-flags (threshold is 1).
+        let d2 = cm.on_abort(1, Some(9), 1, 0, 600);
+        assert_eq!(d2.flagged, Some((9, 1_100)));
+    }
+
+    #[test]
+    fn boxes_are_independent() {
+        let cm = HotspotCm::new(2, 1_000, 100);
+        cm.on_abort(0, Some(1), 1, 0, 0);
+        cm.on_abort(0, Some(2), 1, 0, 0);
+        assert!(!cm.is_gated(1, 1));
+        assert!(!cm.is_gated(2, 1));
+        let d = cm.on_abort(1, Some(1), 1, 0, 5);
+        assert!(d.flagged.is_some(), "box 1 hit its own threshold");
+        assert!(!cm.is_gated(2, 6), "box 2's streak untouched");
+    }
+
+    #[test]
+    fn unattributed_aborts_are_ignored() {
+        let cm = HotspotCm::new(1, 1_000, 100);
+        assert_eq!(cm.on_abort(0, None, 5, 0, 0), CmDecision::default());
+    }
+}

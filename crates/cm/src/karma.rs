@@ -1,0 +1,248 @@
+//! Karma: priority accrued per aborted work.
+//!
+//! Every abort credits the loser with the virtual cost of the attempt it
+//! just wasted — its *karma*. A poor transaction (low karma relative to
+//! the richest live competitor) waits proportionally to its deficit
+//! before retrying, and when the *richest* victim aborts it is granted a
+//! priority window sized by its karma: until the window's deadline,
+//! every other transaction defers — at admission and on its own aborts —
+//! so the aggressors' wake-ups align into one quiet gap the victim can
+//! finally commit in. Admission-side deferral is essential: the short
+//! aggressor that keeps winning never aborts, so abort-side waits alone
+//! never touch it; and without the aligned window, per-actor deficit
+//! taxes merely stagger the aggressors into a steady commit stream that
+//! starves the victim just as effectively.
+//!
+//! The ledger is exact and conserved: `bank + Σ live = accrued` at all
+//! times, where `bank` is the karma retired by commits. The proptest
+//! oracle in `tests/oracles.rs` drives arbitrary abort/commit
+//! interleavings against this invariant.
+
+use crate::{ActorSource, CmCounters, CmDecision, CmKind, CmStats, ContentionManager};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+struct Ledger {
+    /// Live karma per actor token.
+    live: BTreeMap<u64, u64>,
+    /// Karma retired by committed actors.
+    bank: u64,
+    /// Everything ever credited (= bank + Σ live).
+    accrued: u64,
+    /// Priority window: `(actor, until)` — while it holds, every *other*
+    /// actor defers admission (and retry) to `until`. Granted to the
+    /// richest live actor on its abort, sized by its karma, cleared when
+    /// it commits. Aligning the aggressors' wake-ups is the point: a
+    /// staggered tax alone just turns them into a steady commit stream.
+    protected: Option<(u64, u64)>,
+}
+
+pub struct KarmaCm {
+    ledger: Mutex<Ledger>,
+    /// Wait ceiling: a huge deficit must not park a transaction forever.
+    cap: u64,
+    /// Deficit units per wait unit (softens the proportionality).
+    scale: u64,
+    actors: ActorSource,
+    counters: CmCounters,
+}
+
+impl KarmaCm {
+    pub fn new(cap: u64, scale: u64) -> KarmaCm {
+        assert!(cap > 0 && scale > 0, "karma needs positive cap and scale");
+        KarmaCm {
+            ledger: Mutex::new(Ledger::default()),
+            cap,
+            scale,
+            actors: ActorSource::default(),
+            counters: CmCounters::default(),
+        }
+    }
+
+    /// `(bank, Σ live, accrued)` — the conservation oracle's view.
+    pub fn ledger_totals(&self) -> (u64, u64, u64) {
+        let g = self.ledger.lock();
+        (g.bank, g.live.values().sum(), g.accrued)
+    }
+
+    /// Current karma of one actor (0 when unknown/retired).
+    pub fn karma_of(&self, actor: u64) -> u64 {
+        self.ledger.lock().live.get(&actor).copied().unwrap_or(0)
+    }
+
+    /// Remaining hold of the priority window for `actor` at `now`: zero
+    /// for the window's owner, for an expired window, or when no window
+    /// is granted.
+    fn window_hold(g: &Ledger, actor: u64, now: u64) -> u64 {
+        match g.protected {
+            Some((owner, until)) if owner != actor => until.saturating_sub(now),
+            _ => 0,
+        }
+    }
+}
+
+impl Default for KarmaCm {
+    fn default() -> KarmaCm {
+        KarmaCm::new(6_400, 32)
+    }
+}
+
+impl ContentionManager for KarmaCm {
+    fn kind(&self) -> CmKind {
+        CmKind::Karma
+    }
+
+    fn begin_txn(&self) -> u64 {
+        self.actors.next()
+    }
+
+    fn admission_wait(&self, actor: u64, now: u64) -> u64 {
+        let g = self.ledger.lock();
+        let wait = Self::window_hold(&g, actor, now);
+        drop(g);
+        self.counters.count_wait(wait);
+        wait
+    }
+
+    fn on_abort(
+        &self,
+        actor: u64,
+        _conflict_box: Option<u64>,
+        streak: u32,
+        work: u64,
+        now: u64,
+    ) -> CmDecision {
+        let mut g = self.ledger.lock();
+        let entry = g.live.entry(actor).or_insert(0);
+        *entry = entry.saturating_add(work);
+        let own = *entry;
+        g.accrued = g.accrued.saturating_add(work);
+        // Deficit against the richest live competitor. `max >= own`
+        // always holds (own is in the map), so this never underflows.
+        let max = g.live.values().copied().max().unwrap_or(own);
+        let wait = if own == max {
+            if streak >= 2 {
+                // The richest repeat victim earns a priority window. It
+                // waits out a short settle first — aggressors still
+                // mid-flight at the grant commit within their attempt
+                // length, and an attempt restarted under their commits
+                // is doomed no matter how long everyone else is held —
+                // then owns the rest of the window: settle + one full
+                // attempt + margin.
+                let settle = (work / 8).min(self.cap / 8);
+                let until = now.saturating_add((settle + work + work / 8).min(self.cap));
+                if g.protected.is_none_or(|(_, u)| until >= u) {
+                    g.protected = Some((actor, until));
+                }
+                settle
+            } else {
+                0
+            }
+        } else {
+            // A poorer loser waits out the larger of its deficit pace
+            // and the protected window.
+            ((max - own) / self.scale)
+                .min(self.cap)
+                .max(Self::window_hold(&g, actor, now))
+        };
+        drop(g);
+        self.counters.count_wait(wait);
+        CmDecision {
+            wait,
+            flagged: None,
+        }
+    }
+
+    fn on_commit(&self, actor: u64) {
+        let mut g = self.ledger.lock();
+        if let Some(k) = g.live.remove(&actor) {
+            g.bank = g.bank.saturating_add(k);
+        }
+        if g.protected.is_some_and(|(a, _)| a == actor) {
+            g.protected = None;
+        }
+    }
+
+    fn stats(&self) -> CmStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn richest_actor_retries_immediately_poorer_waits() {
+        let cm = KarmaCm::new(10_000, 1);
+        let rich = cm.begin_txn();
+        let poor = cm.begin_txn();
+        assert_eq!(cm.on_abort(rich, None, 1, 5_000, 0).wait, 0, "only actor");
+        // poor credits 500, rich holds 5000: deficit 4500 at scale 1.
+        let d = cm.on_abort(poor, None, 1, 500, 10);
+        assert_eq!(cm.karma_of(poor), 500);
+        assert_eq!(d.wait, 4_500, "wait = deficit vs richest live actor");
+    }
+
+    #[test]
+    fn commit_retires_karma_to_bank() {
+        let cm = KarmaCm::default();
+        let a = cm.begin_txn();
+        cm.on_abort(a, None, 1, 700, 0);
+        assert_eq!(cm.ledger_totals(), (0, 700, 700));
+        cm.on_commit(a);
+        assert_eq!(
+            cm.ledger_totals(),
+            (700, 0, 700),
+            "conserved across handoff"
+        );
+        cm.on_commit(a);
+        assert_eq!(
+            cm.ledger_totals(),
+            (700, 0, 700),
+            "double retire is a no-op"
+        );
+    }
+
+    #[test]
+    fn repeat_victim_priority_window_holds_poorer_actors() {
+        let cm = KarmaCm::new(12_800, 4);
+        let victim = cm.begin_txn();
+        let aggressor = cm.begin_txn();
+        assert_eq!(
+            cm.on_abort(victim, None, 1, 4_000, 0).wait,
+            0,
+            "first abort grants no window"
+        );
+        assert_eq!(cm.admission_wait(aggressor, 100), 0);
+        // Second consecutive abort: settle = 4000/8, window deadline
+        // now + settle + work + work/8 = 8000 + 5000.
+        let d = cm.on_abort(victim, None, 2, 4_000, 8_000);
+        assert_eq!(d.wait, 500, "victim waits out the straggler settle");
+        assert_eq!(
+            cm.admission_wait(aggressor, 8_200),
+            4_800,
+            "poorer actor held to the window deadline"
+        );
+        assert_eq!(cm.admission_wait(victim, 8_200), 0, "owner is admitted");
+        assert_eq!(cm.admission_wait(aggressor, 13_100), 0, "window expired");
+        let d = cm.on_abort(victim, None, 3, 4_000, 14_000);
+        assert_eq!(d.wait, 500, "window re-arms while the victim keeps losing");
+        cm.on_commit(victim);
+        assert_eq!(
+            cm.admission_wait(aggressor, 14_600),
+            0,
+            "commit clears the window"
+        );
+    }
+
+    #[test]
+    fn wait_is_capped() {
+        let cm = KarmaCm::new(100, 1);
+        let rich = cm.begin_txn();
+        let poor = cm.begin_txn();
+        cm.on_abort(rich, None, 1, 1_000_000, 0);
+        assert_eq!(cm.on_abort(poor, None, 1, 1, 0).wait, 100);
+    }
+}

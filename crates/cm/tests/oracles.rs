@@ -1,0 +1,132 @@
+//! Proptest oracles for the contention-manager state machines.
+//!
+//! The policies are pure state machines (no clock, no tracer), so the
+//! oracles can drive them with arbitrary abort/commit streams and check
+//! algebraic invariants directly:
+//!
+//! * backoff: the wait schedule is monotone non-decreasing in the
+//!   streak until it hits the cap, and never exceeds the cap;
+//! * karma: the ledger never underflows and is exactly conserved across
+//!   commit handoffs (`bank + Σ live = accrued`);
+//! * hotspot: every gate releases — no interleaving leaves a box
+//!   permanently serialized.
+
+use proptest::prelude::*;
+use wtf_cm::{BackoffCm, ContentionManager, HotspotCm, KarmaCm};
+
+proptest! {
+    /// Backoff oracle: for an arbitrary (base, cap) tuning and abort
+    /// streak, waits are monotone until the cap and capped thereafter.
+    #[test]
+    fn backoff_monotone_until_cap(
+        input in (1u64..10_000, 0u64..100_000, 1u32..200)
+    ) {
+        let (base, extra, streak_len) = input;
+        let cap = base + extra;
+        let cm = BackoffCm::new(base, cap);
+        let mut prev = 0u64;
+        let mut capped = false;
+        for streak in 1..=streak_len {
+            let w = cm.wait_for_streak(streak);
+            prop_assert!(w <= cap, "wait {w} exceeds cap {cap}");
+            prop_assert!(w >= prev, "wait shrank: {prev} -> {w} at streak {streak}");
+            if capped {
+                prop_assert!(w == cap, "left the cap after reaching it: {w} != {cap}");
+            }
+            capped = w == cap;
+            prev = w;
+        }
+        // The schedule reaches the cap within 64 doublings.
+        prop_assert_eq!(cm.wait_for_streak(64.max(streak_len)), cap);
+    }
+
+    /// Karma oracle: arbitrary interleavings of aborts (crediting work)
+    /// and commits (retiring actors) keep the ledger conserved and
+    /// non-negative, and never hand out waits beyond the cap.
+    #[test]
+    fn karma_conserved_and_never_underflows(
+        ops in proptest::collection::vec((0u64..6, 0u64..10_000), 1..120)
+    ) {
+        let cm = KarmaCm::new(5_000, 2);
+        let actors: Vec<u64> = (0..6).map(|_| cm.begin_txn()).collect();
+        for (who, work) in ops {
+            let actor = actors[who as usize];
+            if work % 5 == 0 {
+                cm.on_commit(actor);
+            } else {
+                let d = cm.on_abort(actor, Some(work % 7), 1, work, work);
+                prop_assert!(d.wait <= 5_000, "wait beyond cap");
+            }
+            let (bank, live, accrued) = cm.ledger_totals();
+            prop_assert!(
+                bank + live == accrued,
+                "ledger must conserve karma (bank {bank} + live {live} != accrued {accrued})"
+            );
+        }
+    }
+
+    /// Karma priority-window oracle: with monotone time and arbitrary
+    /// streaks (exercising the repeat-victim window grants), every wait
+    /// and every admission hold stays within the cap, and the ledger
+    /// stays conserved.
+    #[test]
+    fn karma_windows_bounded_under_monotone_time(
+        ops in proptest::collection::vec((0u64..4, 1u32..5, 0u64..8_000), 1..120)
+    ) {
+        let cm = KarmaCm::new(5_000, 2);
+        let actors: Vec<u64> = (0..4).map(|_| cm.begin_txn()).collect();
+        let mut now = 0u64;
+        for (who, streak, work) in ops {
+            now += work / 4 + 1;
+            let actor = actors[who as usize];
+            if streak == 4 {
+                cm.on_commit(actor);
+            } else {
+                let d = cm.on_abort(actor, None, streak, work, now);
+                prop_assert!(d.wait <= 5_000, "abort wait beyond cap: {}", d.wait);
+            }
+            for &a in &actors {
+                prop_assert!(
+                    cm.admission_wait(a, now) <= 5_000,
+                    "admission hold beyond cap"
+                );
+            }
+            let (bank, live, accrued) = cm.ledger_totals();
+            prop_assert!(bank + live == accrued, "window grants must not leak karma");
+        }
+    }
+
+    /// Hotspot oracle: whatever abort schedule a box suffers, once time
+    /// passes the last gate deadline the box is no longer serialized.
+    #[test]
+    fn hotspot_gate_always_releases(
+        input in (1u32..5, 1u64..2_000, proptest::collection::vec((0u64..4, 0u64..500), 1..80))
+    ) {
+        let (threshold, window, aborts) = input;
+        let cm = HotspotCm::new(threshold, window, 50);
+        let mut now = 0u64;
+        let mut last_deadline = 0u64;
+        for (box_id, dt) in aborts {
+            now += dt;
+            let d = cm.on_abort(0, Some(box_id), 1, 100, now);
+            if let Some((b, deadline)) = d.flagged {
+                prop_assert_eq!(b, box_id);
+                prop_assert!(deadline > now, "gate must extend into the future");
+                last_deadline = last_deadline.max(deadline);
+            }
+            // A wait never parks the loser past the gate's own deadline
+            // plus one slot per queued loser bound — sanity ceiling.
+            prop_assert!(d.wait <= window + 50 * 80, "unbounded gate wait");
+        }
+        let after = last_deadline.max(now) + 1;
+        for box_id in 0..4 {
+            prop_assert!(
+                !cm.is_gated(box_id, after),
+                "box {} still gated at {} (last deadline {})",
+                box_id,
+                after,
+                last_deadline
+            );
+        }
+    }
+}

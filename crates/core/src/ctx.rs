@@ -101,6 +101,9 @@ impl TxCtx {
             Err(_) => {
                 let id = body.id();
                 self.tm.stats.top_aborts();
+                self.top
+                    .conflict_box
+                    .store(id.0, std::sync::atomic::Ordering::Relaxed);
                 self.tm.tracer.charge_conflict(id.0);
                 self.tm
                     .tracer
@@ -397,6 +400,7 @@ impl TxCtx {
                     }
                     match self.top.serialize_at_evaluation(core, cur, self.node.id) {
                         Ok(value) => {
+                            crate::toplevel::note_future_attempt(&self.tm, false);
                             self.tm.stats.serialized_at_evaluation();
                             self.tm.tracer.record(
                                 EventKind::FutureSerializedEvaluation,
@@ -409,6 +413,7 @@ impl TxCtx {
                         Err(()) => {
                             // Backward validation failed: re-execute the
                             // future inline at the evaluation point.
+                            crate::toplevel::note_future_attempt(&self.tm, true);
                             self.tm.stats.internal_aborts();
                             self.tm.stats.reexecutions();
                             self.tm.tracer.record(
@@ -477,6 +482,7 @@ impl TxCtx {
                         self.node.id,
                         value.clone(),
                     );
+                    crate::toplevel::note_future_attempt(&self.tm, false);
                     self.tm.stats.serialized_at_evaluation();
                     self.tm.tracer.record(
                         EventKind::FutureSerializedEvaluation,
@@ -487,6 +493,7 @@ impl TxCtx {
                     return Ok(value);
                 }
                 Err(StmError::Conflict) => {
+                    crate::toplevel::note_future_attempt(&self.tm, true);
                     self.tm.stats.internal_aborts();
                     self.tm
                         .tracer
@@ -582,6 +589,7 @@ impl TxCtx {
             }
             let value = core.result_value().expect("completed future has result");
             core.set_state(FutState::Adopted);
+            crate::toplevel::note_future_attempt(&self.tm, false);
             self.tm.stats.adopted_escaping();
             self.tm
                 .tracer
@@ -592,6 +600,7 @@ impl TxCtx {
             // The state the future observed is stale here: re-execute its
             // body inline within this transaction. The result of this
             // (first successful) serialization becomes the fixed result.
+            crate::toplevel::note_future_attempt(&self.tm, true);
             self.tm.stats.internal_aborts();
             self.tm.stats.reexecutions();
             self.tm

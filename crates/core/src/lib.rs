@@ -71,6 +71,7 @@ pub use watchdog::{WatchdogConfig, WatchdogHandle};
 pub use wtf_backend::{
     with_backend, BackendBox, BackendKind, BackendSnapshot, StmBackend, TBox as VBox,
 };
+pub use wtf_cm::{with_cm, CmKind, ContentionManager};
 pub use wtf_mvstm::{Aborted, BoxId, Stm, StmError, TxResult, TxValue};
 
 use parking_lot::Mutex;
@@ -169,6 +170,7 @@ pub struct FutureTmBuilder {
     clock: Option<Clock>,
     stm: Option<Arc<dyn StmBackend>>,
     backend_kind: Option<BackendKind>,
+    cm: Option<CmKind>,
     workers: usize,
     tracer: Option<Arc<Tracer>>,
 }
@@ -211,6 +213,18 @@ impl FutureTmBuilder {
     /// [`FutureTmBuilder::backend`].
     pub fn backend_kind(mut self, kind: BackendKind) -> Self {
         self.backend_kind = Some(kind);
+        self
+    }
+
+    /// Which contention-management policy every retry loop consults (see
+    /// `wtf-cm`): the generic backend loop, mvstm's native `Stm::atomic`
+    /// over a shared instance, and [`FutureTm::atomic`]'s top-level loop.
+    /// Defaults to the `WTF_CM` environment variable / an active
+    /// [`with_cm`] scope, falling back to `immediate`. Installed on the
+    /// backend instance even when one was supplied via
+    /// [`FutureTmBuilder::stm`] / [`FutureTmBuilder::backend`].
+    pub fn cm(mut self, kind: CmKind) -> Self {
+        self.cm = Some(kind);
         self
     }
 
@@ -261,14 +275,18 @@ impl FutureTmBuilder {
         } else {
             None
         };
+        let stm = self.stm.unwrap_or_else(|| {
+            make_backend(
+                self.backend_kind.unwrap_or_else(BackendKind::from_env),
+                Arc::clone(&tracer),
+            )
+        });
+        if let Some(kind) = self.cm {
+            stm.set_cm(kind.build());
+        }
         let tm = FutureTm {
             inner: Arc::new(TmInner {
-                stm: self.stm.unwrap_or_else(|| {
-                    make_backend(
-                        self.backend_kind.unwrap_or_else(BackendKind::from_env),
-                        Arc::clone(&tracer),
-                    )
-                }),
+                stm,
                 clock,
                 pool: Mutex::new(Some(pool)),
                 cfg: self.cfg,
@@ -327,6 +345,25 @@ impl FutureTmBuilder {
                 .tracer
                 .gauges
                 .register("watchdog_stalls", move || c.get());
+            // Contention-manager counters, read through the backend each
+            // sample so a later `set_cm` swap is reflected.
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner.tracer.gauges.register("cm_waits", move || {
+                w.upgrade().map_or(0, |tm| tm.stm.cm().stats().waits)
+            });
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner
+                .tracer
+                .gauges
+                .register("cm_serialized_boxes", move || {
+                    w.upgrade()
+                        .map_or(0, |tm| tm.stm.cm().stats().serialized_boxes)
+                });
+            let w = Arc::downgrade(&tm.inner);
+            tm.inner.tracer.gauges.register("adaptive_flips", move || {
+                w.upgrade()
+                    .map_or(0, |tm| tm.stm.cm().stats().adaptive_flips)
+            });
         }
         tm
     }
@@ -347,6 +384,7 @@ impl FutureTm {
             clock: None,
             stm: None,
             backend_kind: None,
+            cm: None,
             workers: 8,
             tracer: None,
         }
@@ -394,6 +432,11 @@ impl FutureTm {
         &self.inner.tracer
     }
 
+    /// The contention manager consulted on every top-level abort.
+    pub fn cm(&self) -> Arc<dyn ContentionManager> {
+        self.inner.stm.cm()
+    }
+
     /// Runs `body` as a top-level transaction, retrying on conflicts until
     /// it commits. `Err(Aborted)` only on explicit [`TxCtx::abort`].
     ///
@@ -404,6 +447,28 @@ impl FutureTm {
         // Replay restarts are bounded defensively; beyond the cap we fall
         // back to a full restart (fresh snapshot).
         const MAX_REPLAYS: u32 = 10_000;
+        // One CM actor per logical top-level transaction: karma accrues
+        // across this call's full restarts and retires on commit. Replay
+        // (internal) restarts stay immediate — they recover intra-top
+        // dooms, not cross-top contention.
+        let cm = self.inner.stm.cm();
+        let actor = cm.begin_txn();
+        wtf_cm::pause_at_begin(&*cm, &self.inner.tracer, actor);
+        let mut streak = 0u32;
+        let cm_pause = |top: &Arc<TopLevel>, streak: u32, attempt_start: u64| {
+            let conflict_box = match top.conflict_box.load(Ordering::Relaxed) {
+                u64::MAX => None,
+                b => Some(b),
+            };
+            wtf_cm::pause_after_abort(
+                &*cm,
+                &self.inner.tracer,
+                actor,
+                conflict_box,
+                streak,
+                attempt_start,
+            );
+        };
         let mut top: Option<Arc<TopLevel>> = None;
         let mut replay: Option<Vec<Arc<crate::future::FutureCore>>> = None;
         // Retry lineage: the id of the incarnation a full restart abandoned,
@@ -415,6 +480,7 @@ impl FutureTm {
         loop {
             guard += 1;
             assert!(guard < 200_000, "atomic outer retry spinning");
+            let attempt_start = wtf_cm::attempt_now();
             let (t, root) = match (&top, replay.take()) {
                 (Some(t), Some(q)) => {
                     // Internal (replay) restart on the same incarnation.
@@ -429,7 +495,10 @@ impl FutureTm {
                     let mut ctx = TxCtx::new(self.inner.clone(), t.clone(), root.clone());
                     ctx.set_replay(queue);
                     match self.run_attempt(&t, ctx, &mut body) {
-                        AttemptOutcome::Done(v) => return v,
+                        AttemptOutcome::Done(v) => {
+                            cm.on_commit(actor);
+                            return v;
+                        }
                         AttemptOutcome::Internal => {
                             replays += 1;
                             if crate::debug_enabled() {
@@ -450,6 +519,8 @@ impl FutureTm {
                         }
                         AttemptOutcome::Full => {
                             t.cancel(&self.inner);
+                            streak += 1;
+                            cm_pause(&t, streak, attempt_start);
                             prev_top = Some(t.id);
                             top = None;
                             continue;
@@ -467,7 +538,10 @@ impl FutureTm {
             };
             let ctx = TxCtx::new(self.inner.clone(), t.clone(), root);
             match self.run_attempt(&t, ctx, &mut body) {
-                AttemptOutcome::Done(v) => return v,
+                AttemptOutcome::Done(v) => {
+                    cm.on_commit(actor);
+                    return v;
+                }
                 AttemptOutcome::Internal => {
                     top = Some(t);
                     replay = Some(Vec::new());
@@ -475,6 +549,8 @@ impl FutureTm {
                 }
                 AttemptOutcome::Full => {
                     t.cancel(&self.inner);
+                    streak += 1;
+                    cm_pause(&t, streak, attempt_start);
                     prev_top = Some(t.id);
                     top = None;
                     continue;

@@ -8,7 +8,7 @@ use crate::node::{NodeKind, ReadOrigin, SubTxNode};
 use crate::{AtomicitySemantics, OrderingSemantics, TmInner};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use wtf_backend::{BackendBox, BackendSnapshot};
 use wtf_mvstm::{BoxId, FxHashMap, StmError, Value};
@@ -64,6 +64,18 @@ pub struct TopLevel {
     cancelled: AtomicBool,
     /// GAC: the top-level committed; no more serialize-at-submission.
     sealed: AtomicBool,
+    /// Effective ordering, sampled once at begin: the configured SO, or
+    /// the contention manager's adaptive WO→SO flip. Settlement and
+    /// forward validation consult this field, never the live config —
+    /// one transaction must not mix orderings mid-flight (a flip between
+    /// `complete_future` and `settle_wait_all` would deadlock commit on
+    /// a future that parked itself Pending).
+    pub(crate) strong: bool,
+    /// Box id of the most recent cross-top conflict abort charged to
+    /// this incarnation (`u64::MAX` = none): the attribution
+    /// `FutureTm::atomic` hands the contention manager on a full
+    /// restart.
+    pub(crate) conflict_box: AtomicU64,
     /// Every future (transitively) spawned under this top-level.
     pub(crate) futures: Mutex<Vec<Arc<FutureCore>>>,
     /// Futures submitted by the top-level thread itself, in submission
@@ -77,6 +89,8 @@ pub struct TopLevel {
 impl TopLevel {
     pub(crate) fn begin(tm: &Arc<TmInner>) -> Arc<TopLevel> {
         let id = tm.next_top_id();
+        let strong = tm.cfg.semantics.ordering == OrderingSemantics::Strong
+            || tm.stm.cm().serialize_at_submission();
         let top = Arc::new(TopLevel {
             id,
             snapshot: tm.stm.acquire_snapshot(),
@@ -85,6 +99,8 @@ impl TopLevel {
             doomed: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
             sealed: AtomicBool::new(false),
+            strong,
+            conflict_box: AtomicU64::new(u64::MAX),
             futures: Mutex::new(Vec::new()),
             top_submissions: Mutex::new(Vec::new()),
             change: tm.clock.new_event(),
@@ -279,7 +295,7 @@ impl TopLevel {
         *core.final_node.lock() = Some(final_node);
         *core.result.lock() = Some(value);
         let nodes = self.nodes.read();
-        let strong = tm.cfg.semantics.ordering == OrderingSemantics::Strong;
+        let strong = self.strong;
         let outcome = self.graph.update(|g| {
             if self.is_sealed() {
                 g.set_status(core.node, NodeStatus::CompletedPending);
@@ -600,13 +616,14 @@ impl TopLevel {
     pub(crate) fn commit(self: &Arc<Self>, ctx: &mut TxCtx) -> Result<(), CommitFail> {
         let tm = ctx.tm.clone();
         tm.clock.advance(tm.cfg.costs.commit_cost);
-        // 1. Settle futures per the configured semantics.
-        match (tm.cfg.semantics.ordering, tm.cfg.semantics.atomicity) {
-            (OrderingSemantics::Strong, _) => self.settle_wait_all(&tm),
-            (OrderingSemantics::Weak, AtomicitySemantics::Local) => {
+        // 1. Settle futures per the effective ordering (the configured
+        // semantics, or the adaptive WO→SO flip sampled at begin).
+        match (self.strong, tm.cfg.semantics.atomicity) {
+            (true, _) => self.settle_wait_all(&tm),
+            (false, AtomicitySemantics::Local) => {
                 self.settle_lac(ctx).map_err(|_| CommitFail::Internal)?
             }
-            (OrderingSemantics::Weak, AtomicitySemantics::Global) => {
+            (false, AtomicitySemantics::Global) => {
                 // Escaping futures are allowed to outlive us; sealing
                 // happens below under the graph lock.
             }
@@ -678,6 +695,7 @@ impl TopLevel {
                 Ok(v) => v,
                 Err(conflict_box) => {
                     tm.stats.top_aborts();
+                    self.conflict_box.store(conflict_box.0, Ordering::Relaxed);
                     // The substrate already charged the conflict map; the
                     // event stream additionally ties the abort to this top.
                     tm.tracer
@@ -855,6 +873,28 @@ impl TopLevel {
     }
 }
 
+/// Reports one decided future-attempt fate to the contention manager.
+/// The adaptive policy windows these to estimate the internal abort
+/// rate, so call sites follow one contract: `aborted = true` whenever an
+/// incarnation's speculative work is discarded (doomed subtree, doomed
+/// read, failed backward validation forcing a re-execution), `false`
+/// whenever an incarnation serializes (at submission, at evaluation,
+/// inline after a re-execution, or by adoption). Parked (`Pending`)
+/// completions report nothing — their fate is decided at evaluation.
+pub(crate) fn note_future_attempt(tm: &TmInner, aborted: bool) {
+    if let Some(flip) = tm
+        .stm
+        .cm()
+        .note_future_attempt(aborted, wtf_cm::attempt_now())
+    {
+        tm.tracer.record(
+            EventKind::AdaptiveFlip,
+            flip.to_strong as u64,
+            flip.rate_per_mille,
+        );
+    }
+}
+
 /// Worker-side execution of a future's body, with internal retry.
 /// `submit_ts` is the submission-point timestamp (0 when tracing is off)
 /// used to measure the queue-to-start delay.
@@ -894,15 +934,17 @@ pub(crate) fn run_future_body(
                 ctx.node.freeze();
                 tm.tracer
                     .record(EventKind::FutureCompleted, core.id, attempt);
-                if tm.cfg.semantics.ordering == OrderingSemantics::Strong {
+                if top.strong {
                     // JTF serializes futures at their submission points *in
                     // spawn order*: a future's commit waits for every
                     // earlier-submitted future of the same top-level. This
                     // is the source of the paper's straggler effect (Fig. 3).
+                    // (`top.strong` covers the adaptive WO→SO flip too.)
                     wait_for_earlier_futures(&tm, &top, &core);
                 }
                 match top.complete_future(&tm, &core, final_node, value) {
                     FutureCommitOutcome::Doomed => {
+                        note_future_attempt(&tm, true);
                         tm.stats.internal_aborts();
                         tm.tracer
                             .record(EventKind::FutureAttemptAbort, core.id, attempt);
@@ -916,6 +958,13 @@ pub(crate) fn run_future_body(
                         top.reset_node(core.node, NodeKind::Future);
                         continue;
                     }
+                    FutureCommitOutcome::SerializedAtSubmission => {
+                        note_future_attempt(&tm, false);
+                        return;
+                    }
+                    // Pending parks until evaluation and Escaped awaits
+                    // adoption: neither fate is decided yet, so neither
+                    // feeds the adaptive abort-rate window here.
                     _ => return,
                 }
             }
@@ -923,6 +972,7 @@ pub(crate) fn run_future_body(
                 if crate::debug_enabled() {
                     eprintln!("[debug] future {} body conflict, retrying", core.id);
                 }
+                note_future_attempt(&tm, true);
                 tm.stats.internal_aborts();
                 tm.tracer
                     .record(EventKind::FutureAttemptAbort, core.id, attempt);

@@ -108,6 +108,12 @@ pub(crate) struct StmInner {
     /// tracer costs one relaxed load per hook — so the hot paths carry
     /// no `Option` branch.
     pub(crate) tracer: Arc<Tracer>,
+    /// Contention manager consulted by [`Stm::atomic`]'s retry loop (and,
+    /// through the `MvstmBackend` adapter, by `wtf_backend::atomic` and
+    /// the `wtf-core` top-level loop — one shared policy instance per
+    /// STM). Swappable so `FutureTm::builder().cm(..)` can install a
+    /// policy after construction.
+    pub(crate) cm: parking_lot::RwLock<Arc<dyn wtf_cm::ContentionManager>>,
 }
 
 /// A software transactional memory instance.
@@ -145,6 +151,7 @@ impl Stm {
                 gc_enabled: AtomicBool::new(true),
                 versions_installed: AtomicU64::new(0),
                 tracer,
+                cm: parking_lot::RwLock::new(wtf_cm::CmKind::from_env().build()),
             }),
         };
         if stm.inner.tracer.on() {
@@ -225,6 +232,19 @@ impl Stm {
         &self.inner.tracer
     }
 
+    /// The contention manager [`Stm::atomic`] consults on every conflict
+    /// abort. Defaults from `WTF_CM` / `wtf_cm::with_cm` at construction.
+    pub fn cm(&self) -> Arc<dyn wtf_cm::ContentionManager> {
+        self.inner.cm.read().clone()
+    }
+
+    /// Installs a contention manager (selection plumbing for
+    /// `FutureTm::builder().cm(..)`). Swapping mid-run is safe — in-flight
+    /// retry loops finish on the policy they started with.
+    pub fn set_cm(&self, cm: Arc<dyn wtf_cm::ContentionManager>) {
+        *self.inner.cm.write() = cm;
+    }
+
     /// Current value of the published version clock.
     pub fn clock(&self) -> u64 {
         self.inner.clock.load(Ordering::Acquire)
@@ -243,25 +263,39 @@ impl Stm {
 
     /// Runs `f` as an atomic transaction, retrying on conflict until it
     /// commits. Returns `Err(Aborted)` only when `f` requests an explicit
-    /// abort via [`Txn::abort`].
+    /// abort via [`Txn::abort`]. Every conflict abort consults the
+    /// [contention manager](Stm::cm) — with the conflicting box's id when
+    /// commit validation names one — and applies its wait before the
+    /// retry.
     pub fn atomic<T>(&self, mut f: impl FnMut(&mut Txn) -> TxResult<T>) -> Result<T, Aborted> {
+        let cm = self.cm();
+        let actor = cm.begin_txn();
+        wtf_cm::pause_at_begin(&*cm, &self.inner.tracer, actor);
+        let mut streak = 0u32;
         loop {
+            let attempt_start = wtf_cm::attempt_now();
             let mut tx = Txn::begin(self);
-            match f(&mut tx) {
-                Ok(value) => match tx.commit() {
-                    Ok(()) => return Ok(value),
-                    Err(StmError::Conflict) => {
-                        self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                        continue;
+            let conflict_box = match f(&mut tx) {
+                Ok(value) => match tx.commit_attributed() {
+                    Ok(()) => {
+                        cm.on_commit(actor);
+                        return Ok(value);
                     }
-                    Err(StmError::UserAbort) => return Err(Aborted),
+                    Err(box_id) => Some(box_id.0),
                 },
-                Err(StmError::Conflict) => {
-                    self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
+                Err(StmError::Conflict) => None,
                 Err(StmError::UserAbort) => return Err(Aborted),
-            }
+            };
+            self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+            streak += 1;
+            wtf_cm::pause_after_abort(
+                &*cm,
+                &self.inner.tracer,
+                actor,
+                conflict_box,
+                streak,
+                attempt_start,
+            );
         }
     }
 

@@ -107,6 +107,13 @@ impl<'s> Txn<'s> {
     /// (`wtf-check`), which treat a `Conflict` as a final abort rather
     /// than retrying.
     pub fn commit(self) -> Result<(), StmError> {
+        self.commit_attributed().map_err(|_| StmError::Conflict)
+    }
+
+    /// Like [`Txn::commit`], but a validation failure names the box whose
+    /// version check failed — the attribution [`Stm::atomic`] feeds its
+    /// contention manager. Read-only commits cannot conflict.
+    pub fn commit_attributed(self) -> Result<(), BoxId> {
         let stm = self.stm;
         if self.write_set.is_empty() {
             // The multi-version property: read-only transactions observed a
@@ -123,7 +130,7 @@ impl<'s> Txn<'s> {
             return Ok(());
         }
         let snapshot = self.snapshot.version();
-        let version = raw::commit_raw(
+        let version = raw::commit_attributed(
             stm,
             snapshot,
             self.read_set.values().map(|(body, _)| body),

@@ -120,6 +120,11 @@ pub struct EpochObservation {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Incident {
     pub kind: IncidentKind,
+    /// Rules that fired *while this incident was already open* and were
+    /// folded into it instead of opening a second incident (deduplicated,
+    /// kind-code order). A watchdog stall during an abort storm is one
+    /// overlapping incident, not two.
+    pub merged: Vec<IncidentKind>,
     pub onset_ts: u64,
     pub onset_epoch: u64,
     pub peak_ts: u64,
@@ -140,6 +145,15 @@ impl Incident {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("kind", Json::Str(self.kind.name().to_string())),
+            (
+                "merged",
+                Json::Arr(
+                    self.merged
+                        .iter()
+                        .map(|k| Json::Str(k.name().to_string()))
+                        .collect(),
+                ),
+            ),
             ("onset", self.onset_ts.into()),
             ("onset_epoch", self.onset_epoch.into()),
             ("peak", self.peak_ts.into()),
@@ -165,15 +179,92 @@ impl Incident {
     }
 }
 
-/// Per-rule hysteresis state.
-#[derive(Debug, Clone, Copy, Default)]
-struct RuleState {
-    /// Consecutive triggered epochs (while closed).
+/// Edge reported by [`Hysteresis::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HysteresisEdge {
+    /// `trigger` consecutive hot observations while closed.
+    Opened,
+    /// `recover` consecutive calm observations while open.
+    Recovered,
+}
+
+/// A reusable trigger/recover streak counter: `trigger` consecutive hot
+/// observations open it, `recover` consecutive calm observations close
+/// it. This is the state machine behind every incident-detector rule;
+/// `wtf-cm`'s adaptive future-serialization policy reuses it for its
+/// WO→SO flip decision, so both layers debounce identically.
+#[derive(Debug, Clone, Copy)]
+pub struct Hysteresis {
+    trigger: u32,
+    recover: u32,
     hot_streak: u32,
+    calm_streak: u32,
+    open: bool,
+}
+
+impl Hysteresis {
+    pub fn new(trigger: u32, recover: u32) -> Hysteresis {
+        Hysteresis {
+            trigger: trigger.max(1),
+            recover: recover.max(1),
+            hot_streak: 0,
+            calm_streak: 0,
+            open: false,
+        }
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Consecutive hot observations so far (meaningful while closed).
+    pub fn hot_streak(&self) -> u32 {
+        self.hot_streak
+    }
+
+    /// Feeds one observation; returns the edge it caused, if any.
+    pub fn observe(&mut self, hot: bool) -> Option<HysteresisEdge> {
+        if self.open {
+            if hot {
+                self.calm_streak = 0;
+            } else {
+                self.calm_streak += 1;
+                if self.calm_streak >= self.recover {
+                    self.open = false;
+                    self.calm_streak = 0;
+                    self.hot_streak = 0;
+                    return Some(HysteresisEdge::Recovered);
+                }
+            }
+        } else if hot {
+            self.hot_streak += 1;
+            if self.hot_streak >= self.trigger {
+                self.open = true;
+                self.hot_streak = 0;
+                self.calm_streak = 0;
+                return Some(HysteresisEdge::Opened);
+            }
+        } else {
+            self.hot_streak = 0;
+        }
+        None
+    }
+
+    /// Forces the closed state without a `Recovered` edge (used when an
+    /// open was vetoed, e.g. by the incident budget or a merge).
+    pub fn force_closed(&mut self) {
+        self.open = false;
+        self.hot_streak = 0;
+        self.calm_streak = 0;
+    }
+}
+
+/// Per-rule detector state: the streak counter plus incident bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct RuleState {
+    hys: Hysteresis,
     /// First epoch/ts of the current hot streak.
     streak_start: (u64, u64),
-    /// Consecutive calm epochs (while an incident is open).
-    calm_streak: u32,
     /// Index into `incidents` of the open incident, if any.
     open: Option<usize>,
 }
@@ -201,9 +292,14 @@ impl IncidentDetector {
     /// `budget`: maximum incident *opens* recorded (the PR-3 dump
     /// budget); further opens are counted as suppressed.
     pub fn new(thresholds: Thresholds, budget: u64) -> IncidentDetector {
+        let rule = RuleState {
+            hys: Hysteresis::new(thresholds.trigger_epochs, thresholds.recover_epochs),
+            streak_start: (0, 0),
+            open: None,
+        };
         IncidentDetector {
             thresholds,
-            rules: [RuleState::default(); 4],
+            rules: [rule; 4],
             queue_ewma: None,
             incidents: Vec::new(),
             budget,
@@ -235,27 +331,46 @@ impl IncidentDetector {
     /// caused (deterministic order: kind code ascending).
     pub fn observe(&mut self, obs: &EpochObservation) -> Vec<IncidentTransition> {
         let severities = self.severities(obs);
+        // Incident already open *before* this epoch's signals are applied.
+        // A rule triggering while one is live merges into it rather than
+        // opening a second, overlapping incident; rules triggering in the
+        // same epoch with nothing live still open independently.
+        let merge_into = self.rules.iter().find_map(|r| r.open);
         let mut transitions = Vec::new();
         for kind in ALL_INCIDENT_KINDS {
             let i = kind.index();
             let severity = severities[i];
             let rule = &mut self.rules[i];
             match rule.open {
-                None => match severity {
-                    Some(value) => {
-                        if rule.hot_streak == 0 {
-                            rule.streak_start = (obs.epoch, obs.end_ts);
-                        }
-                        rule.hot_streak += 1;
-                        if rule.hot_streak >= self.thresholds.trigger_epochs {
-                            if self.budget == 0 {
+                None => {
+                    if severity.is_some() && rule.hys.hot_streak() == 0 {
+                        rule.streak_start = (obs.epoch, obs.end_ts);
+                    }
+                    if rule.hys.observe(severity.is_some()) == Some(HysteresisEdge::Opened) {
+                        let value = severity.expect("opened on a hot epoch");
+                        match merge_into {
+                            Some(idx) => {
+                                rule.hys.force_closed();
+                                let inc = &mut self.incidents[idx];
+                                if inc.kind != kind && !inc.merged.contains(&kind) {
+                                    inc.merged.push(kind);
+                                }
+                                if value > inc.peak_value {
+                                    inc.peak_value = value;
+                                    inc.peak_ts = obs.end_ts;
+                                    inc.peak_epoch = obs.epoch;
+                                }
+                            }
+                            None if self.budget == 0 => {
+                                rule.hys.force_closed();
                                 self.suppressed += 1;
-                            } else {
+                            }
+                            None => {
                                 self.budget -= 1;
                                 rule.open = Some(self.incidents.len());
-                                rule.calm_streak = 0;
                                 self.incidents.push(Incident {
                                     kind,
+                                    merged: Vec::new(),
                                     onset_ts: rule.streak_start.1,
                                     onset_epoch: rule.streak_start.0,
                                     peak_ts: obs.end_ts,
@@ -268,33 +383,23 @@ impl IncidentDetector {
                                 });
                                 transitions.push(IncidentTransition::Opened(kind));
                             }
-                            rule.hot_streak = 0;
                         }
                     }
-                    None => rule.hot_streak = 0,
-                },
+                }
                 Some(idx) => {
                     let inc = &mut self.incidents[idx];
-                    match severity {
-                        Some(value) => {
-                            rule.calm_streak = 0;
-                            if value > inc.peak_value {
-                                inc.peak_value = value;
-                                inc.peak_ts = obs.end_ts;
-                                inc.peak_epoch = obs.epoch;
-                            }
+                    if let Some(value) = severity {
+                        if value > inc.peak_value {
+                            inc.peak_value = value;
+                            inc.peak_ts = obs.end_ts;
+                            inc.peak_epoch = obs.epoch;
                         }
-                        None => {
-                            rule.calm_streak += 1;
-                            if rule.calm_streak >= self.thresholds.recover_epochs {
-                                inc.recovery_ts = Some(obs.end_ts);
-                                inc.recovery_epoch = Some(obs.epoch);
-                                rule.open = None;
-                                rule.calm_streak = 0;
-                                rule.hot_streak = 0;
-                                transitions.push(IncidentTransition::Recovered(kind));
-                            }
-                        }
+                    }
+                    if rule.hys.observe(severity.is_some()) == Some(HysteresisEdge::Recovered) {
+                        inc.recovery_ts = Some(obs.end_ts);
+                        inc.recovery_epoch = Some(obs.epoch);
+                        rule.open = None;
+                        transitions.push(IncidentTransition::Recovered(kind));
                     }
                 }
             }
@@ -477,6 +582,71 @@ mod tests {
                 IncidentTransition::Opened(IncidentKind::WatchdogStall),
             ]
         );
+    }
+
+    /// Regression: a watchdog stall firing *during* an open abort storm
+    /// used to open a second incident. It now merges into the open one.
+    #[test]
+    fn watchdog_during_open_storm_merges_not_doubles() {
+        let mut d = IncidentDetector::new(Thresholds::default(), 8);
+        assert_eq!(
+            d.observe(&storm_obs(0, 0.8)),
+            vec![IncidentTransition::Opened(IncidentKind::AbortStorm)]
+        );
+        let mut obs = storm_obs(1, 0.9);
+        obs.watchdog_stalls = 3;
+        assert!(d.observe(&obs).is_empty(), "no second open");
+        assert_eq!(d.incidents().len(), 1, "overlap merged into one incident");
+        let inc = &d.incidents()[0];
+        assert_eq!(inc.kind, IncidentKind::AbortStorm);
+        assert_eq!(inc.merged, vec![IncidentKind::WatchdogStall]);
+        assert_eq!(inc.peak_value, 3.0, "merged rule can still set the peak");
+        assert_eq!(d.suppressed(), 0, "a merge is not a suppressed open");
+        // Both signals calm: the one incident recovers once.
+        assert_eq!(
+            d.observe(&storm_obs(2, 0.1)),
+            vec![IncidentTransition::Recovered(IncidentKind::AbortStorm)]
+        );
+        // A stall *after* recovery is its own incident again.
+        let mut late = storm_obs(3, 0.1);
+        late.watchdog_stalls = 1;
+        assert_eq!(
+            d.observe(&late),
+            vec![IncidentTransition::Opened(IncidentKind::WatchdogStall)]
+        );
+        assert_eq!(d.incidents().len(), 2);
+    }
+
+    #[test]
+    fn merged_kinds_deduplicate_across_epochs() {
+        let mut d = IncidentDetector::new(Thresholds::default(), 8);
+        d.observe(&storm_obs(0, 0.8));
+        for e in 1..4 {
+            let mut obs = storm_obs(e, 0.8);
+            obs.watchdog_stalls = 1;
+            d.observe(&obs);
+        }
+        assert_eq!(d.incidents().len(), 1);
+        assert_eq!(
+            d.incidents()[0].merged,
+            vec![IncidentKind::WatchdogStall],
+            "repeat overlaps record the kind once"
+        );
+    }
+
+    #[test]
+    fn hysteresis_debounces_and_recovers() {
+        let mut h = Hysteresis::new(2, 2);
+        assert_eq!(h.observe(true), None, "1 hot < trigger 2");
+        assert_eq!(h.observe(false), None, "streak broken");
+        assert_eq!(h.observe(true), None);
+        assert_eq!(h.observe(true), Some(HysteresisEdge::Opened));
+        assert!(h.is_open());
+        assert_eq!(h.observe(false), None, "1 calm < recover 2");
+        assert_eq!(h.observe(true), None, "calm streak broken");
+        assert_eq!(h.observe(false), None);
+        assert_eq!(h.observe(false), Some(HysteresisEdge::Recovered));
+        assert!(!h.is_open());
     }
 
     #[test]

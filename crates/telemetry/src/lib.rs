@@ -43,7 +43,8 @@ pub mod prom;
 pub mod http;
 
 pub use incident::{
-    EpochObservation, Incident, IncidentDetector, IncidentKind, IncidentTransition, Thresholds,
+    EpochObservation, Hysteresis, HysteresisEdge, Incident, IncidentDetector, IncidentKind,
+    IncidentTransition, Thresholds,
 };
 pub use prom::{PromDoc, PromFamily, PromSample, PromValue};
 

@@ -215,6 +215,9 @@ struct Tl2Inner {
     read_only_commits: AtomicU64,
     aborts: AtomicU64,
     tracer: Arc<Tracer>,
+    /// Contention manager consulted by the generic `wtf_backend::atomic`
+    /// retry loop (and `wtf-core`'s top-level loop) for this instance.
+    cm: parking_lot::RwLock<Arc<dyn wtf_cm::ContentionManager>>,
 }
 
 /// The TL2 STM instance. Cheap to clone; usually consumed as an
@@ -248,6 +251,7 @@ impl Tl2Stm {
                 read_only_commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
                 tracer,
+                cm: parking_lot::RwLock::new(wtf_cm::CmKind::from_env().build()),
             }),
         };
         if stm.inner.tracer.on() {
@@ -329,6 +333,14 @@ impl StmBackend for Tl2Stm {
 
     fn set_gc_enabled(&self, _enabled: bool) {
         // Nothing to reclaim: old versions are overwritten in place.
+    }
+
+    fn cm(&self) -> Arc<dyn wtf_cm::ContentionManager> {
+        self.inner.cm.read().clone()
+    }
+
+    fn set_cm(&self, cm: Arc<dyn wtf_cm::ContentionManager>) {
+        *self.inner.cm.write() = cm;
     }
 
     fn new_box(&self, value: Value) -> Arc<dyn BackendBox> {

@@ -1,7 +1,7 @@
 //! Virtual-time measurement harness.
 
 use std::sync::Arc;
-use wtf_core::{BackendKind, CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
+use wtf_core::{BackendKind, CmKind, CostModel, FutureTm, Semantics, TmConfig, TmStatsSnapshot};
 use wtf_mvstm::StmStatsSnapshot;
 use wtf_telemetry::{TelemetryConfig, TelemetryHub, TelemetrySummary};
 use wtf_trace::{Json, TraceLevel, TraceSummary, Tracer};
@@ -19,6 +19,8 @@ pub struct RunResult {
     pub completed: u64,
     /// Which STM substrate the run executed over.
     pub backend: BackendKind,
+    /// Which contention-management policy governed abort/retry pacing.
+    pub cm: CmKind,
     pub tm: TmStatsSnapshot,
     pub stm: StmStatsSnapshot,
     /// Tracing summary for the run (all-zero when tracing was off).
@@ -77,6 +79,7 @@ impl RunResult {
             ("makespan", self.makespan.into()),
             ("completed", self.completed.into()),
             ("backend", Json::Str(self.backend.name().to_string())),
+            ("cm", Json::Str(self.cm.name().to_string())),
             ("throughput", Json::F64(self.throughput())),
             ("top_abort_rate", Json::F64(self.top_abort_rate())),
             ("internal_abort_rate", Json::F64(self.internal_abort_rate())),
@@ -113,6 +116,11 @@ pub struct RunSpec {
     /// `WTF_BACKEND` environment variable (default mvstm), so every figure
     /// binary honours `WTF_BACKEND=tl2` without per-workload plumbing.
     pub backend: BackendKind,
+    /// Contention-management policy for this run. [`RunSpec::new`] seeds
+    /// it from the `WTF_CM` environment variable (default immediate), so
+    /// every figure binary honours `WTF_CM=karma` without per-workload
+    /// plumbing.
+    pub cm: CmKind,
     /// Sliding-window telemetry for this run. [`RunSpec::new`] seeds it
     /// from the environment (`WTF_TELEMETRY` / `WTF_METRICS_FILE` /
     /// `WTF_METRICS_ADDR`); `None` disables the hub entirely. Telemetry
@@ -134,6 +142,11 @@ pub struct RunSpec {
 /// [`RunSpec::new`] and `FutureTm::builder` consult).
 pub use wtf_core::with_backend;
 
+/// Scoped contention-manager override for workload sweeps — re-exported
+/// from `wtf-cm` (it pins [`CmKind::from_env`], which both
+/// [`RunSpec::new`] and the STM constructors consult).
+pub use wtf_core::with_cm;
+
 impl RunSpec {
     pub fn new(semantics: Semantics, clients: usize, workers: usize) -> RunSpec {
         RunSpec {
@@ -145,6 +158,7 @@ impl RunSpec {
             units_per_client: 1,
             trace: TraceLevel::from_env(),
             backend: BackendKind::from_env(),
+            cm: CmKind::from_env(),
             telemetry: TelemetryConfig::from_env(),
             workload: "run",
             profile: profile_enabled(),
@@ -161,6 +175,13 @@ impl RunSpec {
     /// independent of env).
     pub fn with_backend(mut self, backend: BackendKind) -> RunSpec {
         self.backend = backend;
+        self
+    }
+
+    /// Overrides the contention-management policy (conformance tests
+    /// want this independent of env).
+    pub fn with_cm(mut self, cm: CmKind) -> RunSpec {
+        self.cm = cm;
         self
     }
 
@@ -233,6 +254,7 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
             )
             .workers(spec2.workers)
             .backend_kind(spec2.backend)
+            .cm(spec2.cm)
             .tracer(t2)
             .build();
         // Delta against the post-construction baseline so the measurement
@@ -278,6 +300,7 @@ pub fn run_virtual_traced(spec: &RunSpec, client: ClientFn) -> (RunResult, Arc<T
         makespan: clock.makespan(),
         completed: spec.units_per_client * spec.clients as u64,
         backend: spec.backend,
+        cm: spec.cm,
         tm: tm_stats,
         stm: stm_stats,
         trace: tracer.summary(),

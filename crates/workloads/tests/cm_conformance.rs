@@ -1,0 +1,451 @@
+//! CM conformance suite: every contention-management policy, on every
+//! STM backend, run under the virtual clock.
+//!
+//! Three layers of guarantees, from generic to policy-specific:
+//!
+//! 1. **Determinism + soundness matrix** — for each policy × backend, a
+//!    storm-then-calm run is byte-deterministic (two identical runs dump
+//!    identical JSON), drops zero trace events, and the offline
+//!    serializability checker accepts the full-detail history. A CM that
+//!    waits is still an observer of correctness: it may only reshape
+//!    *when* transactions retry, never what they read.
+//! 2. **Policy invariants on real histories** — the `CmWait` /
+//!    `CmBoxFlagged` / `AdaptiveFlip` events recorded by live runs obey
+//!    each policy's contract (backoff gaps double then cap; karma stops
+//!    starving the long transaction; a flagged box's abort streak dies
+//!    inside the gate window; adaptive flips WO→SO exactly once with
+//!    onset and recovery timestamps).
+//! 3. **Liveness** — every run still commits exactly the configured
+//!    number of transactions; no policy trades progress for pacing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wtf_check::HistoryChecker;
+use wtf_core::{BackendKind, CmKind, Semantics, VBox};
+use wtf_trace::{EventKind, TraceEvent, TraceLevel, Tracer};
+use wtf_workloads::harness::{run_virtual_traced, RunResult, RunSpec};
+use wtf_workloads::zipf::{storm_then_calm_traced, StormConfig};
+use wtf_workloads::ClientFn;
+
+/// Zero dropped events + the serializability checker accepts the run.
+fn assert_clean(res: &RunResult, tracer: &Tracer, label: &str) {
+    assert_eq!(res.trace.events_dropped, 0, "trace truncated under {label}");
+    if let Err(e) = HistoryChecker::from_tracer(tracer).verify() {
+        panic!("wtf-check rejects {label}: {e}");
+    }
+}
+
+/// All events of one kind across all lanes, in timestamp order.
+fn events(tracer: &Tracer, kind: EventKind) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = tracer
+        .lanes()
+        .into_iter()
+        .flat_map(|(_, events)| events)
+        .filter(|e| e.kind == kind)
+        .collect();
+    out.sort_by_key(|e| (e.ts, e.a, e.b));
+    out
+}
+
+fn storm_spec(backend: BackendKind, cm: CmKind, cfg: &StormConfig, clients: usize) -> RunSpec {
+    RunSpec {
+        units_per_client: (cfg.storm_txs + cfg.calm_txs) as u64,
+        workers: 1,
+        ..RunSpec::new(Semantics::WO_GAC, clients, 1)
+    }
+    .with_trace(TraceLevel::Full)
+    .with_backend(backend)
+    .with_cm(cm)
+    .with_workload("cm_storm")
+}
+
+/// Layer 1: the full policy × backend matrix is byte-deterministic,
+/// lossless and checker-clean, and every policy preserves liveness
+/// (all configured transactions commit).
+#[test]
+fn cm_matrix_is_deterministic_and_checker_clean() {
+    let cfg = StormConfig {
+        storm_txs: 10,
+        calm_txs: 10,
+        iter: 600,
+        ..StormConfig::default()
+    };
+    let clients = 4;
+    for backend in BackendKind::ALL {
+        for cm in CmKind::ALL {
+            let label = format!("{}/{}", backend.name(), cm.name());
+            let spec = storm_spec(backend, cm, &cfg, clients);
+            let (a, tracer_a) = storm_then_calm_traced(&cfg, &spec);
+            let (b, tracer_b) = storm_then_calm_traced(&cfg, &spec);
+            assert_clean(&a, &tracer_a, &label);
+            assert_clean(&b, &tracer_b, &label);
+            assert_eq!(
+                a.to_json().to_string(),
+                b.to_json().to_string(),
+                "run report not byte-deterministic under {label}"
+            );
+            assert_eq!(
+                tracer_a.chrome_trace_json(),
+                tracer_b.chrome_trace_json(),
+                "event stream not byte-deterministic under {label}"
+            );
+            assert_eq!(
+                a.tm.top_commits,
+                (clients * (cfg.storm_txs + cfg.calm_txs)) as u64,
+                "liveness: every transaction commits under {label}"
+            );
+            // The result JSON names the policy that produced it.
+            let doc = a.to_json();
+            assert_eq!(
+                doc.get("cm").and_then(|c| c.as_str()),
+                Some(cm.name()),
+                "RunResult carries the cm key under {label}"
+            );
+        }
+    }
+}
+
+/// Layer 2, backoff: each aborting transaction's recorded waits follow
+/// the capped-doubling schedule — strictly growing per retry until the
+/// cap, never past it.
+#[test]
+fn backoff_retry_gaps_grow_then_cap() {
+    let cfg = StormConfig {
+        storm_txs: 16,
+        calm_txs: 4,
+        iter: 1_200,
+        ..StormConfig::default()
+    };
+    for backend in BackendKind::ALL {
+        let spec = storm_spec(backend, CmKind::Backoff, &cfg, 6);
+        let (res, tracer) = storm_then_calm_traced(&cfg, &spec);
+        assert_clean(&res, &tracer, &format!("{}/backoff", backend.name()));
+        let waits = events(&tracer, EventKind::CmWait);
+        assert!(
+            !waits.is_empty(),
+            "the storm produced CM waits on {}",
+            backend.name()
+        );
+        // Group per actor token: one actor = one logical transaction's
+        // retry chain, so its waits are the schedule for streak 1, 2, ...
+        let mut by_actor: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for e in &waits {
+            by_actor.entry(e.a).or_default().push(e.b);
+        }
+        const CAP: u64 = 12_800;
+        let mut saw_growth = false;
+        for (actor, seq) in &by_actor {
+            for pair in seq.windows(2) {
+                assert!(
+                    pair[1] == 2 * pair[0] || (pair[0] == CAP && pair[1] == CAP),
+                    "actor {actor} gaps neither doubled nor capped: {seq:?} on {}",
+                    backend.name()
+                );
+                saw_growth |= pair[1] > pair[0];
+            }
+            assert!(
+                seq.iter().all(|&w| w <= CAP),
+                "actor {actor} waited past the cap: {seq:?}"
+            );
+        }
+        assert!(
+            saw_growth,
+            "at least one retry chain grew its gap on {}",
+            backend.name()
+        );
+    }
+}
+
+/// Starvation rig: client 0 runs a few *long* read-modify-writes of one
+/// hot box (its read stays open ~13x longer than everyone else's),
+/// clients 1.. hammer the same box with short transactions. Under
+/// `immediate` the shorts repeatedly invalidate the long reader; under
+/// `karma` the shorts' own aborts charge them a wait proportional to
+/// their priority deficit against the long transaction's accrued
+/// aborted work, opening windows the long one can commit in. `execs`
+/// counts body executions per client; aborts are `execs - committed`.
+fn starvation_client(execs: Arc<Vec<AtomicU64>>, plan: Arc<Vec<(usize, u64)>>) -> ClientFn {
+    let shared: Arc<parking_lot::Mutex<Option<VBox<u64>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    Arc::new(move |i, tm| {
+        let hot = {
+            let mut g = shared.lock();
+            g.get_or_insert_with(|| tm.new_vbox(0u64)).clone()
+        };
+        let (txs, work) = plan[i];
+        for _ in 0..txs {
+            let hot2 = hot.clone();
+            let execs = execs.clone();
+            tm.atomic(move |ctx| {
+                execs[i].fetch_add(1, Ordering::Relaxed);
+                let v = ctx.read(&hot2)?;
+                ctx.work(work);
+                ctx.write(&hot2, v + 1)
+            })
+            .unwrap();
+        }
+    })
+}
+
+/// Per-client abort counts for the starvation rig under one policy.
+fn run_starvation(backend: BackendKind, cm: CmKind, plan: &[(usize, u64)]) -> Vec<u64> {
+    let plan: Arc<Vec<(usize, u64)>> = Arc::new(plan.to_vec());
+    let execs: Arc<Vec<AtomicU64>> = Arc::new(plan.iter().map(|_| AtomicU64::new(0)).collect());
+    let spec = RunSpec {
+        units_per_client: plan[0].0 as u64,
+        workers: 1,
+        ..RunSpec::new(Semantics::WO_GAC, plan.len(), 1)
+    }
+    .with_trace(TraceLevel::Full)
+    .with_backend(backend)
+    .with_cm(cm)
+    .with_workload("cm_starvation");
+    let (res, tracer) = run_virtual_traced(&spec, starvation_client(execs.clone(), plan.clone()));
+    assert_clean(&res, &tracer, &format!("{}/{}", backend.name(), cm.name()));
+    plan.iter()
+        .zip(execs.iter())
+        .map(|(&(txs, _), e)| e.load(Ordering::Relaxed) - txs as u64)
+        .collect()
+}
+
+/// Layer 2, karma: accrued priority ends the starvation of the
+/// long-running transaction. Under `immediate` the long client loses
+/// more conflicts *per commit* than any short aggressor; under `karma`
+/// its aborted work buys priority (and a repeat-victim window), so it
+/// loses strictly less than before and no more than half of the run's
+/// total aborts.
+#[test]
+fn karma_long_transaction_wins_fair_share() {
+    // Client 0: 6 long transactions (work 4000); clients 1-3: 40 short
+    // ones (work 300) each. The shorts also conflict among themselves,
+    // which is what gives karma its lever: an aborting short consults
+    // the CM and is paced by its deficit against the long transaction.
+    let plan = [(6usize, 4_000u64), (40, 300), (40, 300), (40, 300)];
+    let (long_txs, short_txs) = (plan[0].0 as u64, plan[1].0 as u64);
+    for backend in BackendKind::ALL {
+        let imm = run_starvation(backend, CmKind::Immediate, &plan);
+        let kar = run_starvation(backend, CmKind::Karma, &plan);
+        let imm_short_max = imm[1..].iter().copied().max().unwrap();
+        // Starvation is per committed transaction: the long client runs
+        // far fewer transactions, so compare abort *rates* by
+        // cross-multiplying (imm[0]/long_txs > imm_short_max/short_txs).
+        assert!(
+            imm[0] * short_txs > imm_short_max * long_txs,
+            "baseline sanity: immediate starves the long client on {} \
+             (long {}/{long_txs} vs worst short {imm_short_max}/{short_txs})",
+            backend.name(),
+            imm[0],
+        );
+        assert!(
+            kar[0] < imm[0],
+            "karma reduces the long client's losses on {} ({} -> {})",
+            backend.name(),
+            imm[0],
+            kar[0]
+        );
+        let total: u64 = kar.iter().sum();
+        assert!(
+            2 * kar[0] <= total + 1,
+            "karma holds the long client to at most half the aborts on {}: \
+             lost {} of {total}",
+            backend.name(),
+            kar[0],
+        );
+    }
+}
+
+/// Layer 2, hotspot: once the storm box is flagged, its abort streak
+/// dies inside the gate window — admissions are serialized (bounded by
+/// the slot spacing) and after the last gate expires the box never
+/// builds another threshold-length streak.
+#[test]
+fn hotspot_flagged_box_streak_ends_within_gate_window() {
+    let cfg = StormConfig {
+        storm_txs: 16,
+        calm_txs: 8,
+        iter: 1_200,
+        ..StormConfig::default()
+    };
+    // Defaults of `HotspotCm::new(threshold, window, slot)`.
+    const THRESHOLD: u64 = 3;
+    const WINDOW: u64 = 20_000;
+    const SLOT: u64 = 800;
+    for backend in BackendKind::ALL {
+        let spec = storm_spec(backend, CmKind::Hotspot, &cfg, 6);
+        let (res, tracer) = storm_then_calm_traced(&cfg, &spec);
+        assert_clean(&res, &tracer, &format!("{}/hotspot", backend.name()));
+        let flags = events(&tracer, EventKind::CmBoxFlagged);
+        assert!(
+            !flags.is_empty(),
+            "the storm box got flagged on {}",
+            backend.name()
+        );
+        let aborts = events(&tracer, EventKind::TopConflictAbort);
+        // The flagged box is the conflict-dominant one.
+        let mut per_box: std::collections::BTreeMap<u64, u64> = Default::default();
+        for e in &aborts {
+            *per_box.entry(e.b).or_default() += 1;
+        }
+        let hottest = per_box
+            .iter()
+            .max_by_key(|(box_id, n)| (**n, std::cmp::Reverse(**box_id)))
+            .map(|(box_id, _)| *box_id)
+            .expect("storm aborted at least once");
+        assert!(
+            flags.iter().any(|f| f.a == hottest),
+            "the dominant conflict box {hottest} was flagged on {}",
+            backend.name()
+        );
+        for (box_id, _) in flags.iter().map(|f| (f.a, f.b)) {
+            let last_flag = flags
+                .iter()
+                .filter(|f| f.a == box_id)
+                .max_by_key(|f| f.ts)
+                .unwrap();
+            let deadline = last_flag.b;
+            let in_window = aborts
+                .iter()
+                .filter(|e| e.b == box_id && e.ts > last_flag.ts && e.ts <= deadline)
+                .count() as u64;
+            assert!(
+                in_window <= WINDOW / SLOT + 1,
+                "gate serializes admissions to box {box_id} on {}: {} aborts in window",
+                backend.name(),
+                in_window
+            );
+            let after = aborts
+                .iter()
+                .filter(|e| e.b == box_id && e.ts > deadline)
+                .count() as u64;
+            assert!(
+                after < THRESHOLD,
+                "box {box_id} built a fresh streak after its last gate on {} \
+                 ({after} post-deadline aborts, no re-flag)",
+                backend.name()
+            );
+        }
+    }
+}
+
+/// A two-phase futures workload for the adaptive policy, single client.
+///
+/// Storm transactions use the §5.3 future-vs-continuation conflict
+/// shape: the future reads `x` and writes `y`, while the continuation
+/// first reads `y` inside a checkpointed step (the forward conflict —
+/// in WO the future's completion parks as pending, in SO it dooms just
+/// that step) and then read-modify-writes `x` in a later step (the
+/// backward conflict). Under WO every storm transaction therefore
+/// discards exactly one speculative attempt (backward validation fails
+/// at evaluation, the body re-executes inline) and then serializes the
+/// re-execution — a 500‰ attempt-abort rate, exactly the adaptive hot
+/// threshold. Once the policy flips to SO-at-submission the same code
+/// dooms the reader step instead, discarding *no* future attempts, so
+/// the window rate drops to zero and stays there through the calm
+/// private-box tail until the hysteresis recovers.
+fn future_storm_client(storm_txs: usize, calm_txs: usize) -> ClientFn {
+    Arc::new(move |_i, tm| {
+        let x = tm.new_vbox(0u64);
+        let y = tm.new_vbox(0u64);
+        let own = tm.new_vbox(0u64);
+        for _ in 0..storm_txs {
+            let (x, y) = (x.clone(), y.clone());
+            tm.atomic_infallible(move |ctx| {
+                let (xf, xc) = (x.clone(), x.clone());
+                let yf = y.clone();
+                let f = ctx.submit(move |c| {
+                    let v = c.read(&xf)?;
+                    c.work(600);
+                    c.write(&yf, v + 1)
+                })?;
+                let yc = y.clone();
+                ctx.step(move |c| {
+                    c.read(&yc)?;
+                    Ok(())
+                })?;
+                ctx.work(1_000);
+                ctx.step(move |c| {
+                    let v = c.read(&xc)?;
+                    c.write(&xc, v + 1)
+                })?;
+                ctx.evaluate(&f)?;
+                Ok(())
+            });
+        }
+        for _ in 0..calm_txs {
+            let own = own.clone();
+            tm.atomic_infallible(move |ctx| {
+                let own2 = own.clone();
+                let f = ctx.submit(move |c| {
+                    let v = c.read(&own2)?;
+                    c.work(200);
+                    c.write(&own2, v + 1)
+                })?;
+                ctx.evaluate(&f)?;
+                Ok(())
+            });
+        }
+    })
+}
+
+/// Layer 2, adaptive: the future-attempt storm flips WO→SO exactly
+/// once (onset), the calm tail flips back exactly once (recovery), and
+/// the two edges are ordered. Also deterministic: both runs report the
+/// same flip timestamps.
+#[test]
+fn adaptive_flips_once_with_onset_and_recovery() {
+    // Window = 16 attempts, trigger = 1, recover = 2. Each WO storm
+    // transaction contributes [abort, success] (500‰); each SO storm or
+    // calm transaction contributes one clean attempt. 12 storm txs fill
+    // the first (hot) window after 8 and leave 4 post-flip; 32 calm txs
+    // then supply the two all-clean windows that recover, with slack.
+    let storm_txs = 12;
+    let calm_txs = 32;
+    for backend in BackendKind::ALL {
+        let spec = RunSpec {
+            units_per_client: (storm_txs + calm_txs) as u64,
+            workers: 4,
+            ..RunSpec::new(Semantics::WO_GAC, 1, 1)
+        }
+        .with_trace(TraceLevel::Full)
+        .with_backend(backend)
+        .with_cm(CmKind::Adaptive)
+        .with_workload("cm_future_storm");
+        let (res, tracer) = run_virtual_traced(&spec, future_storm_client(storm_txs, calm_txs));
+        assert_clean(&res, &tracer, &format!("{}/adaptive", backend.name()));
+        let flips = events(&tracer, EventKind::AdaptiveFlip);
+        let onsets: Vec<&TraceEvent> = flips.iter().filter(|f| f.a == 1).collect();
+        let recoveries: Vec<&TraceEvent> = flips.iter().filter(|f| f.a == 0).collect();
+        assert_eq!(
+            onsets.len(),
+            1,
+            "exactly one WO→SO flip on {}: {flips:?}",
+            backend.name()
+        );
+        assert_eq!(
+            recoveries.len(),
+            1,
+            "exactly one recovery flip on {}: {flips:?}",
+            backend.name()
+        );
+        assert!(
+            onsets[0].ts < recoveries[0].ts,
+            "onset precedes recovery on {}",
+            backend.name()
+        );
+        assert!(
+            onsets[0].b >= 500,
+            "onset window was storm-hot on {} ({}‰)",
+            backend.name(),
+            onsets[0].b
+        );
+        // Deterministic down to the flip timestamps.
+        let (res2, tracer2) = run_virtual_traced(&spec, future_storm_client(storm_txs, calm_txs));
+        assert_eq!(
+            flips,
+            events(&tracer2, EventKind::AdaptiveFlip),
+            "flip edges are byte-deterministic on {}",
+            backend.name()
+        );
+        assert_eq!(res.to_json().to_string(), res2.to_json().to_string());
+    }
+}
