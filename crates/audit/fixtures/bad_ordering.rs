@@ -1,0 +1,19 @@
+//! Seeded failing case: a call site whose `Ordering::` falls outside the
+//! declared contract (the contract says relaxed, the load says SeqCst).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
+    hits: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+}

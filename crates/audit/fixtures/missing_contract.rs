@@ -1,0 +1,14 @@
+//! Seeded failing case: an atomic declared without an `// ordering:`
+//! contract comment. CI asserts the audit goes red on this directory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded failing case: an `unsafe` block with no `// SAFETY:` comment.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,22 @@
+//! Seeded failing case: a `Relaxed` load feeds a branch decision but the
+//! contract has no `relaxed-guard` clause explaining why that is sound.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Gate {
+    // ordering: relaxed-store, relaxed-load — cheap flag.
+    open: AtomicBool,
+}
+
+impl Gate {
+    pub fn open(&self) {
+        self.open.store(true, Ordering::Relaxed);
+    }
+
+    pub fn enter(&self) -> bool {
+        if self.open.load(Ordering::Relaxed) {
+            return true;
+        }
+        false
+    }
+}

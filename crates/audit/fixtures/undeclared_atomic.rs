@@ -1,0 +1,8 @@
+//! Seeded failing case: an atomic operated on without any declaration
+//! (and therefore without a contract) in the audited source.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn poke(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,52 @@
+//! Seeded failing cases for the lock-order pass: a cross-class cycle
+//! (alpha→beta in one function, beta→alpha in another), a same-class
+//! multi-acquisition without the sorted bitmask walk, and a lock field
+//! with no `// lock-order:` class at all.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    // lock-order: alpha
+    a: Mutex<u64>,
+    // lock-order: beta
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}
+
+pub struct Stripes {
+    // lock-order: stripe
+    left: Mutex<u64>,
+    // lock-order: stripe
+    right: Mutex<u64>,
+}
+
+impl Stripes {
+    pub fn both(&self) -> u64 {
+        let gl = self.left.lock().unwrap();
+        let gr = self.right.lock().unwrap();
+        *gl + *gr
+    }
+}
+
+pub struct Bag {
+    items: Mutex<u64>,
+}
+
+impl Bag {
+    pub fn take(&self) -> u64 {
+        *self.items.lock().unwrap()
+    }
+}

@@ -1,0 +1,845 @@
+//! Atomics inventory + ordering-contract checker.
+//!
+//! Every atomic declaration in an audited crate (struct field, tuple
+//! struct, or `static`) must carry a structured contract comment in the
+//! comment block directly above it:
+//!
+//! ```text
+//! // ordering: release-store in install(), acquire-load in read_at();
+//! // relaxed-load under the stripe lock; relaxed-guard (CAS revalidates)
+//! ```
+//!
+//! The machine-checked part is the `<ord>-<op>` tokens, with
+//! `ord ∈ {seqcst, acqrel, acquire, release, relaxed}` and
+//! `op ∈ {load, store, swap, cas, rmw}`, plus the special clause
+//! `relaxed-guard` which declares that Relaxed loads of this atomic may
+//! legitimately feed branch/CAS decisions (single-writer reads, probe
+//! hints that a CAS revalidates, advisory flags). Everything else in the
+//! comment is prose for the reader. `// ordering(key1, key2): ...`
+//! declares explicit lookup keys — used when call sites reach the atomic
+//! through an alias (`struct Slot(AtomicU64)` accessed via a `slots`
+//! array, say).
+//!
+//! The checker then walks every `load/store/swap/compare_exchange/
+//! fetch_*` call site, resolves the receiver to a declared key in the
+//! same crate, and fails when:
+//!
+//! * a declaration has no contract (`missing-contract`) or a contract
+//!   with no tokens (`contract-empty`);
+//! * a call site's `Ordering::` argument is outside the declared
+//!   protocol (`ordering-violation`);
+//! * a Relaxed load flows into a branch, assert, or compare-exchange
+//!   decision in the same function without a `relaxed-guard` clause
+//!   (`relaxed-guard`);
+//! * a call site's receiver is not a declared atomic
+//!   (`undeclared-atomic`).
+//!
+//! Keys are scoped per crate. If two declarations in one crate share a
+//! key (two structs with a `doomed` field, say), each still needs its
+//! own contract and call sites are checked against the union of the
+//! declared protocols.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scan::{self, Receiver, SourceFile};
+use crate::Finding;
+
+/// Concrete `std::sync::atomic` types the inventory recognizes. A plain
+/// substring match would also catch `AtomicitySemantics`, hence the
+/// exact list.
+pub const ATOMIC_TYPES: [&str; 12] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+const ORDS: [(&str, &str); 5] = [
+    ("SeqCst", "seqcst"),
+    ("AcqRel", "acqrel"),
+    ("Acquire", "acquire"),
+    ("Release", "release"),
+    ("Relaxed", "relaxed"),
+];
+
+const OPS: [&str; 5] = ["load", "store", "swap", "cas", "rmw"];
+
+/// Atomic method → contract op class.
+const METHODS: [(&str, &str); 14] = [
+    ("load", "load"),
+    ("store", "store"),
+    ("swap", "swap"),
+    ("compare_exchange", "cas"),
+    ("compare_exchange_weak", "cas"),
+    ("fetch_add", "rmw"),
+    ("fetch_sub", "rmw"),
+    ("fetch_and", "rmw"),
+    ("fetch_or", "rmw"),
+    ("fetch_xor", "rmw"),
+    ("fetch_nand", "rmw"),
+    ("fetch_max", "rmw"),
+    ("fetch_min", "rmw"),
+    ("fetch_update", "rmw"),
+];
+
+/// One declared atomic (field, tuple struct, or static).
+#[derive(Debug, Clone)]
+pub struct AtomicDecl {
+    pub crate_name: String,
+    pub file: String,
+    pub line: usize,
+    /// Concrete atomic type (`AtomicU64`, ...).
+    pub ty: String,
+    /// Lookup keys: the field/static/struct name, or the explicit
+    /// `ordering(key, ...)` list when given.
+    pub keys: Vec<String>,
+    /// Parsed `<ord>-<op>` / `relaxed-guard` tokens; empty set when the
+    /// contract comment is missing entirely.
+    pub tokens: BTreeSet<String>,
+    pub has_contract: bool,
+}
+
+/// One atomic call site with an explicit ordering argument.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub crate_name: String,
+    pub file: String,
+    pub line: usize,
+    /// Resolved declaration key, if the receiver resolved + matched.
+    pub key: Option<String>,
+    pub method: String,
+    pub op: &'static str,
+    /// Lowercased ordering names in argument order.
+    pub orderings: Vec<&'static str>,
+}
+
+#[derive(Debug, Default)]
+pub struct AtomicsReport {
+    pub decls: Vec<AtomicDecl>,
+    /// Non-test call sites only (contracts bind to runtime code).
+    pub sites: Vec<CallSite>,
+    pub findings: Vec<Finding>,
+}
+
+/// Runs the inventory + contract checks over every audited file.
+pub fn analyze(files: &[SourceFile]) -> AtomicsReport {
+    let mut report = AtomicsReport::default();
+    for f in files {
+        if f.test_file {
+            continue;
+        }
+        collect_decls(f, &mut report);
+    }
+    // key → decl indices, per crate
+    let mut keymap: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, d) in report.decls.iter().enumerate() {
+        for k in &d.keys {
+            keymap
+                .entry((d.crate_name.as_str(), k.as_str()))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut findings = Vec::new();
+    for d in &report.decls {
+        if !d.has_contract {
+            findings.push(Finding {
+                file: d.file.clone(),
+                line: d.line,
+                rule: "missing-contract",
+                message: format!(
+                    "atomic `{}` ({}) has no `// ordering:` contract comment",
+                    d.keys.join("/"),
+                    d.ty
+                ),
+            });
+        } else if d.tokens.is_empty() {
+            findings.push(Finding {
+                file: d.file.clone(),
+                line: d.line,
+                rule: "contract-empty",
+                message: format!(
+                    "contract on `{}` declares no `<ord>-<op>` tokens",
+                    d.keys.join("/")
+                ),
+            });
+        }
+    }
+    let mut sites = Vec::new();
+    for f in files {
+        if f.test_file {
+            continue;
+        }
+        check_sites(f, &keymap, &report.decls, &mut sites, &mut findings);
+    }
+    report.sites = sites;
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.findings = findings;
+    report
+}
+
+fn atomic_type_in(type_text: &str) -> Option<&'static str> {
+    ATOMIC_TYPES
+        .iter()
+        .find(|t| scan::has_word(type_text, t))
+        .copied()
+}
+
+/// Blanks `macro_rules!` repetition markers — `$(`, the matching `)`,
+/// and its separator/repeat suffix — so fields declared inside a
+/// repetition (`$( $name: AtomicU64, )+`) parse like plain fields.
+/// Offsets are preserved (replacement with spaces).
+fn strip_macro_repetitions(masked: &str) -> String {
+    let mut out: Vec<u8> = masked.as_bytes().to_vec();
+    let mut i = 0;
+    while i + 1 < out.len() {
+        if out[i] == b'$' && out[i + 1] == b'(' {
+            out[i] = b' ';
+            out[i + 1] = b' ';
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < out.len() && depth > 0 {
+                match out[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if depth == 0 {
+                out[j - 1] = b' ';
+                // optional separator + repeat operator
+                for _ in 0..2 {
+                    if j < out.len() && matches!(out[j], b',' | b';' | b'+' | b'*' | b'?') {
+                        out[j] = b' ';
+                        j += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    String::from_utf8(out).unwrap_or_else(|_| masked.to_string())
+}
+
+/// All `static NAME: <Atomic...>` and struct-field/tuple-struct atomic
+/// declarations in one file (test regions excluded).
+fn collect_decls(f: &SourceFile, report: &mut AtomicsReport) {
+    let masked = &strip_macro_repetitions(&f.masked);
+    // statics (skip `'static` lifetimes: preceded by a quote)
+    for off in scan::find_word_all(masked, "static") {
+        if off > 0 && masked.as_bytes()[off - 1] == b'\'' {
+            continue;
+        }
+        if f.in_test(off) {
+            continue;
+        }
+        let rest = &masked[off + "static".len()..];
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|&c| scan::is_ident_char(c))
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after = rest[name.len()..].trim_start();
+        let Some(ty_text) = after.strip_prefix(':') else {
+            continue;
+        };
+        let end = ty_text
+            .find(['=', ';'])
+            .unwrap_or_else(|| ty_text.len().min(200));
+        let Some(ty) = atomic_type_in(&ty_text[..end]) else {
+            continue;
+        };
+        push_decl(f, report, off, ty, name);
+    }
+    // struct fields + tuple structs
+    for off in scan::find_word_all(masked, "struct") {
+        if f.in_test(off) {
+            continue;
+        }
+        let bytes = masked.as_bytes();
+        let mut i = off + "struct".len();
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && scan::is_ident_char(bytes[i] as char) {
+            i += 1;
+        }
+        let struct_name = masked[name_start..i].to_string();
+        if struct_name.is_empty() {
+            continue;
+        }
+        // skip generics
+        let mut angle = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                c if angle == 0 && !(c as char).is_whitespace() => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        match bytes.get(i) {
+            Some(b'(') => {
+                if let Some((args, _)) = scan::call_args(masked, i) {
+                    if let Some(ty) = atomic_type_in(args) {
+                        push_decl(f, report, off, ty, struct_name);
+                    }
+                }
+            }
+            Some(b'{') => {
+                let body_start = i + 1;
+                let mut depth = 1usize;
+                let mut j = body_start;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let body_end = j.saturating_sub(1);
+                collect_fields(f, masked, report, body_start, body_end);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Named fields of a struct body: chunks split on commas at top level
+/// (angle-, paren-, bracket-, and brace-depth zero within the body).
+fn collect_fields(
+    f: &SourceFile,
+    masked: &str,
+    report: &mut AtomicsReport,
+    start: usize,
+    end: usize,
+) {
+    let bytes = masked.as_bytes();
+    let (mut angle, mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32, 0i32);
+    let mut chunk_start = start;
+    let mut chunks = Vec::new();
+    for (i, &byte) in bytes.iter().enumerate().take(end).skip(start) {
+        match byte {
+            b'<' => angle += 1,
+            b'>' => angle = (angle - 1).max(0), // `->` never appears in field types
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => brace += 1,
+            b'}' => brace -= 1,
+            b',' if angle == 0 && paren == 0 && bracket == 0 && brace == 0 => {
+                chunks.push((chunk_start, i));
+                chunk_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    chunks.push((chunk_start, end));
+    for (cs, ce) in chunks {
+        let chunk = &masked[cs..ce];
+        // top-level `name: Type` colon (skip `::` paths)
+        let cb = chunk.as_bytes();
+        let (mut angle, mut paren) = (0i32, 0i32);
+        let mut colon = None;
+        let mut k = 0;
+        while k < cb.len() {
+            match cb[k] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b':' if angle == 0 && paren == 0 => {
+                    if k + 1 < cb.len() && cb[k + 1] == b':' {
+                        k += 2;
+                        continue;
+                    }
+                    colon = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(colon) = colon else { continue };
+        let Some(ty) = atomic_type_in(&chunk[colon + 1..]) else {
+            continue;
+        };
+        // field name: last identifier before the colon
+        let name_part = &chunk[..colon];
+        let name_end = name_part.trim_end().len();
+        let name_start = name_part[..name_end]
+            .char_indices()
+            .rev()
+            .take_while(|(_, c)| scan::is_ident_char(*c))
+            .last()
+            .map(|(i, _)| i);
+        let Some(name_start) = name_start else {
+            continue;
+        };
+        let name = name_part[name_start..name_end].to_string();
+        if name.is_empty() || f.in_test(cs + name_start) {
+            continue;
+        }
+        push_decl(f, report, cs + name_start, ty, name);
+    }
+}
+
+fn push_decl(
+    f: &SourceFile,
+    report: &mut AtomicsReport,
+    off: usize,
+    ty: &str,
+    default_key: String,
+) {
+    let line = f.line_of(off);
+    let (keys, tokens, has_contract) = parse_contract(f, line, default_key);
+    report.decls.push(AtomicDecl {
+        crate_name: f.crate_name.clone(),
+        file: f.path.clone(),
+        line,
+        ty: ty.to_string(),
+        keys,
+        tokens,
+        has_contract,
+    });
+}
+
+/// Parses the `// ordering[(keys)]: ...` contract from the comment block
+/// above `line`. Returns `(keys, tokens, has_contract)`.
+fn parse_contract(
+    f: &SourceFile,
+    line: usize,
+    default_key: String,
+) -> (Vec<String>, BTreeSet<String>, bool) {
+    let block = f.comment_block_above(line);
+    let stripped: Vec<&str> = block
+        .iter()
+        .map(|l| l.trim_start_matches('/').trim_start_matches('!').trim())
+        .collect();
+    let Some(start) = stripped.iter().position(|l| l.starts_with("ordering")) else {
+        return (vec![default_key], BTreeSet::new(), false);
+    };
+    let text = stripped[start..].join(" ");
+    let after = &text["ordering".len()..];
+    let (keys, rest) = if let Some(after_paren) = after.trim_start().strip_prefix('(') {
+        match after_paren.split_once(')') {
+            Some((keylist, rest)) => (
+                keylist
+                    .split(',')
+                    .map(|k| k.trim().to_string())
+                    .filter(|k| !k.is_empty())
+                    .collect(),
+                rest,
+            ),
+            None => (vec![default_key.clone()], after_paren),
+        }
+    } else {
+        (vec![default_key.clone()], after)
+    };
+    let keys = if keys.is_empty() {
+        vec![default_key]
+    } else {
+        keys
+    };
+    let rest = rest.trim_start().strip_prefix(':').unwrap_or(rest);
+    let mut tokens = BTreeSet::new();
+    for (_, ord) in ORDS {
+        for op in OPS {
+            let tok = format!("{ord}-{op}");
+            if contract_token_in(rest, &tok) {
+                tokens.insert(tok);
+            }
+        }
+    }
+    if contract_token_in(rest, "relaxed-guard") {
+        tokens.insert("relaxed-guard".to_string());
+    }
+    (keys, tokens, true)
+}
+
+/// Token match with `-`-aware word boundaries, so `acqrel-rmw` does not
+/// match inside `acqrel-rmw-ticket` but does before punctuation.
+fn contract_token_in(text: &str, tok: &str) -> bool {
+    let boundary = |c: char| !(c.is_alphanumeric() || c == '_' || c == '-');
+    let mut from = 0;
+    while let Some(p) = text[from..].find(tok) {
+        let at = from + p;
+        let before_ok = at == 0 || text[..at].chars().next_back().is_some_and(boundary);
+        let after = at + tok.len();
+        let after_ok = text[after..].chars().next().is_none_or(boundary);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + tok.len();
+    }
+    false
+}
+
+/// Ordering arguments of one call: `Ordering::X` paths plus bare
+/// imported names (`Relaxed`), at paren depth zero of the argument list
+/// (orderings inside nested closure bodies belong to the nested calls,
+/// which are scanned separately).
+fn parse_orderings(args: &str) -> Vec<&'static str> {
+    let bytes = args.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            c if depth == 0 && scan::is_ident_char(c as char) => {
+                let start = i;
+                while i < bytes.len() && scan::is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                let word = &args[start..i];
+                if let Some((_, ord)) = ORDS.iter().find(|(name, _)| *name == word) {
+                    // `Ordering::Relaxed` counts; a bare word only if not
+                    // part of some other enum's `Foo::Relaxed` path.
+                    let preceded_by_path = start >= 2 && &args[start - 2..start] == "::";
+                    let is_ordering_path =
+                        preceded_by_path && args[..start - 2].ends_with("Ordering");
+                    if is_ordering_path || !preceded_by_path {
+                        out.push(*ord);
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn check_sites(
+    f: &SourceFile,
+    keymap: &BTreeMap<(&str, &str), Vec<usize>>,
+    decls: &[AtomicDecl],
+    sites: &mut Vec<CallSite>,
+    findings: &mut Vec<Finding>,
+) {
+    let masked = &f.masked;
+    let bytes = masked.as_bytes();
+    let impls = scan::impl_blocks(masked);
+    let depths = scan::brace_depths(masked);
+    for (method, op) in METHODS {
+        for off in scan::find_word_all(masked, method) {
+            // must be a method call: `.method(`
+            if off == 0 || bytes[off - 1] != b'.' {
+                continue;
+            }
+            let Some((args, _)) = scan::call_args(masked, off + method.len()) else {
+                continue;
+            };
+            let orderings = parse_orderings(args);
+            if orderings.is_empty() {
+                continue; // not an atomic call (or ordering not literal)
+            }
+            if f.in_test(off) {
+                continue;
+            }
+            let line = f.line_of(off);
+            let dot = off - 1;
+            let key = match scan::resolve_receiver(masked, dot) {
+                Receiver::Ident(name) => Some(name),
+                Receiver::SelfValue => {
+                    scan::enclosing_impl_type(&impls, off).map(|t| t.to_string())
+                }
+                Receiver::Opaque => None,
+            };
+            let resolved = key
+                .as_deref()
+                .and_then(|k| keymap.get(&(f.crate_name.as_str(), k)));
+            let Some(decl_idxs) = resolved else {
+                findings.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "undeclared-atomic",
+                    message: match &key {
+                        Some(k) => format!(
+                            "`.{method}(..)` on `{k}` which is not a declared atomic in \
+                             crate `{}` — add it to the inventory with an `// ordering:` \
+                             contract (or an explicit `ordering({k}, ..)` key)",
+                            f.crate_name
+                        ),
+                        None => format!(
+                            "`.{method}(..)` with an `Ordering::` argument on an \
+                             unresolvable receiver — bind the atomic to a named \
+                             field/static so the audit can track it"
+                        ),
+                    },
+                });
+                continue;
+            };
+            let union: BTreeSet<&str> = decl_idxs
+                .iter()
+                .flat_map(|&i| decls[i].tokens.iter().map(|s| s.as_str()))
+                .collect();
+            let contract_known = decl_idxs.iter().any(|&i| decls[i].has_contract);
+            for ord in &orderings {
+                let tok = format!("{ord}-{op}");
+                if contract_known && !union.contains(tok.as_str()) {
+                    findings.push(Finding {
+                        file: f.path.clone(),
+                        line,
+                        rule: "ordering-violation",
+                        message: format!(
+                            "`{}.{}(..)` uses `{}` but the contract only allows [{}]",
+                            key.as_deref().unwrap_or("?"),
+                            method,
+                            tok,
+                            union.iter().cloned().collect::<Vec<_>>().join(", ")
+                        ),
+                    });
+                }
+            }
+            // Relaxed load feeding a branch/CAS decision needs an
+            // explicit relaxed-guard clause.
+            if op == "load"
+                && orderings == ["relaxed"]
+                && !union.contains("relaxed-guard")
+                && contract_known
+                && relaxed_guarded(f, &depths, dot)
+            {
+                findings.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "relaxed-guard",
+                    message: format!(
+                        "Relaxed load of `{}` flows into a branch/CAS decision; declare \
+                         `relaxed-guard` in its contract (with the reason it is safe) or \
+                         strengthen the ordering",
+                        key.as_deref().unwrap_or("?")
+                    ),
+                });
+            }
+            sites.push(CallSite {
+                crate_name: f.crate_name.clone(),
+                file: f.path.clone(),
+                line,
+                key,
+                method: method.to_string(),
+                op,
+                orderings,
+            });
+        }
+    }
+}
+
+/// Does the Relaxed load at `dot` feed a control decision? True when the
+/// statement head is a branch/assert, or when the load is `let`-bound
+/// and the binding is used in a branch condition, assert, or
+/// compare-exchange argument within the enclosing block.
+fn relaxed_guarded(f: &SourceFile, depths: &[u32], dot: usize) -> bool {
+    let masked = &f.masked;
+    let (stmt_start, stmt_end) = scan::statement_span(masked, dot);
+    let head = &masked[stmt_start..dot];
+    for kw in ["if", "while", "match"] {
+        if scan::has_word(head, kw) {
+            return true;
+        }
+    }
+    if head.contains("assert") {
+        return true;
+    }
+    let trimmed = head.trim_start();
+    let Some(binding) = trimmed.strip_prefix("let ") else {
+        return false;
+    };
+    // binding idents up to the first `=` (not `==`)
+    let eq = binding
+        .char_indices()
+        .find(|&(i, c)| c == '=' && !binding[i + 1..].starts_with('='))
+        .map(|(i, _)| i)
+        .unwrap_or(binding.len());
+    let idents: Vec<&str> = binding[..eq]
+        .split(|c: char| !scan::is_ident_char(c))
+        .filter(|s| !s.is_empty() && *s != "mut" && *s != "_")
+        .collect();
+    if idents.is_empty() {
+        return false;
+    }
+    let scope_end = scan::enclosing_block_end(depths, stmt_start.min(depths.len() - 1));
+    let region = &masked[stmt_end.min(scope_end)..scope_end];
+    for kw in ["if", "while", "match"] {
+        for off in scan::find_word_all(region, kw) {
+            let cond_end = region[off..]
+                .find('{')
+                .map(|p| off + p)
+                .unwrap_or(region.len());
+            let cond = &region[off..cond_end];
+            if idents.iter().any(|id| scan::has_word(cond, id)) {
+                return true;
+            }
+        }
+    }
+    for callee in ["assert", "compare_exchange"] {
+        let mut from = 0;
+        while let Some(p) = region[from..].find(callee) {
+            let at = from + p;
+            from = at + callee.len();
+            if let Some((args, _)) = scan::call_args(region, from) {
+                if idents.iter().any(|id| scan::has_word(args, id)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), false, src.into())
+    }
+
+    fn run(src: &str) -> AtomicsReport {
+        analyze(&[file(src)])
+    }
+
+    #[test]
+    fn missing_contract_flagged() {
+        let r = run("struct S {\n    flag: AtomicBool,\n}\n");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "missing-contract");
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn contract_tokens_parse() {
+        let r = run(
+            "struct S {\n    // ordering: release-store in install(), acquire-load;\n    \
+             // relaxed-load under lock, relaxed-guard (CAS revalidates)\n    head: AtomicU64,\n}\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        let d = &r.decls[0];
+        assert!(d.tokens.contains("release-store"));
+        assert!(d.tokens.contains("acquire-load"));
+        assert!(d.tokens.contains("relaxed-load"));
+        assert!(d.tokens.contains("relaxed-guard"));
+    }
+
+    #[test]
+    fn ordering_violation_flagged() {
+        let src = "struct S {\n    // ordering: relaxed-load\n    n: AtomicU64,\n}\n\
+                   impl S {\n    fn f(&self) { self.n.store(1, Ordering::SeqCst); }\n}\n";
+        let r = run(src);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "ordering-violation"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn conforming_sites_pass() {
+        let src = "struct S {\n    // ordering: release-store, acquire-load, acqrel-rmw\n    n: AtomicU64,\n}\n\
+                   impl S {\n    fn f(&self) -> u64 {\n        self.n.store(1, Ordering::Release);\n        \
+                   self.n.fetch_add(1, Ordering::AcqRel);\n        self.n.load(Ordering::Acquire)\n    }\n}\n";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sites.len(), 3);
+    }
+
+    #[test]
+    fn undeclared_atomic_flagged() {
+        let src = "fn f(x: &AtomicBoolAlias) { x.load(Ordering::Acquire); }\n";
+        let r = run(src);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "undeclared-atomic"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn relaxed_guard_requires_clause() {
+        let bad = "struct S {\n    // ordering: relaxed-load\n    n: AtomicU64,\n}\n\
+                   impl S {\n    fn f(&self) { if self.n.load(Ordering::Relaxed) > 0 { work(); } }\n}\n";
+        let r = run(bad);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "relaxed-guard"),
+            "{:?}",
+            r.findings
+        );
+        let good = bad.replace("relaxed-load", "relaxed-load, relaxed-guard (probe)");
+        assert!(run(&good).findings.is_empty());
+    }
+
+    #[test]
+    fn let_bound_relaxed_guard_detected() {
+        let src = "struct S {\n    // ordering: relaxed-load\n    n: AtomicU64,\n}\n\
+                   impl S {\n    fn f(&self) {\n        let v = self.n.load(Ordering::Relaxed);\n        \
+                   if v > 3 { work(); }\n    }\n}\n";
+        let r = run(src);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "relaxed-guard"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn cas_checks_both_orderings() {
+        let src = "struct S {\n    // ordering: acqrel-cas, relaxed-cas\n    n: AtomicU64,\n}\n\
+                   impl S {\n    fn f(&self) {\n        let _ = self.n.compare_exchange(0, 1, \
+                   Ordering::AcqRel, Ordering::Relaxed);\n    }\n}\n";
+        assert!(run(src).findings.is_empty());
+        let bad = src.replace("Ordering::AcqRel", "Ordering::SeqCst");
+        assert!(run(&bad)
+            .findings
+            .iter()
+            .any(|f| f.rule == "ordering-violation"));
+    }
+
+    #[test]
+    fn explicit_keys_alias_tuple_struct() {
+        let src = "// ordering(slots, Slot): seqcst-load, seqcst-cas\nstruct Slot(AtomicU64);\n\
+                   struct Shard {\n    // ordering: relaxed-load\n    occupancy: AtomicUsize,\n}\n\
+                   fn f(s: &Shard, slots: &[Slot]) {\n    let _ = slots[0].0.compare_exchange(0, 1, \
+                   Ordering::SeqCst, Ordering::SeqCst);\n}\n";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn static_decl_and_macro_fields() {
+        let src = "// ordering: relaxed-rmw\nstatic NEXT_ID: AtomicU64 = AtomicU64::new(0);\n\
+                   fn f() -> u64 { NEXT_ID.fetch_add(1, Ordering::Relaxed) }\n\
+                   macro_rules! counters {\n    ($($name:ident),+) => {\n        struct C {\n            \
+                   // ordering: relaxed-load, relaxed-rmw\n            $( $name: AtomicU64, )+\n        }\n        \
+                   impl C {\n            fn snap(&self) -> u64 { self.$name.load(Ordering::Relaxed) }\n        }\n    };\n}\n";
+        let r = run(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.decls.iter().any(|d| d.keys == ["$name"]));
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    static FLAG: AtomicBool = AtomicBool::new(false);\n    \
+                   fn f() { FLAG.store(true, Ordering::SeqCst); }\n}\n";
+        assert!(run(src).findings.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! `wtf-audit` CLI.
+//!
+//! ```text
+//! wtf-audit [--check] [--inventory PATH] [--dot PATH] [ROOT]
+//! ```
+//!
+//! * `--check` — print findings and exit nonzero if any (the CI gate).
+//! * `--inventory PATH` — write the JSON inventory baseline.
+//! * `--dot PATH` — write the lock-order graph in DOT.
+//! * `ROOT` — tree to audit (default `.`, the workspace root).
+//!
+//! With no flags, `--check` is implied.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut inventory: Option<PathBuf> = None;
+    let mut dot: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    let mut any_flag = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {
+                check = true;
+                any_flag = true;
+            }
+            "--inventory" => match args.next() {
+                Some(p) => {
+                    inventory = Some(PathBuf::from(p));
+                    any_flag = true;
+                }
+                None => return usage("--inventory needs a path"),
+            },
+            "--dot" => match args.next() {
+                Some(p) => {
+                    dot = Some(PathBuf::from(p));
+                    any_flag = true;
+                }
+                None => return usage("--dot needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: wtf-audit [--check] [--inventory PATH] [--dot PATH] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    if !any_flag {
+        check = true;
+    }
+
+    let report = match wtf_audit::audit_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wtf-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = inventory {
+        if let Err(e) = std::fs::write(&path, report.inventory_json()) {
+            eprintln!("wtf-audit: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = dot {
+        if let Err(e) = std::fs::write(&path, report.lock_dot()) {
+            eprintln!("wtf-audit: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let findings = report.findings();
+    for f in &findings {
+        println!("{f}");
+    }
+    if check {
+        let decls = report.atomics.decls.len();
+        let sites = report.atomics.sites.len();
+        let classes = report.locks.classes.len();
+        let unsafes: usize = report.unsafes.files.iter().map(|u| u.sites).sum();
+        eprintln!(
+            "wtf-audit: {} atomics, {} call sites, {} lock classes, {} unsafe sites; \
+             {} finding(s)",
+            decls,
+            sites,
+            classes,
+            unsafes,
+            findings.len()
+        );
+        if !findings.is_empty() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("wtf-audit: {msg}");
+    eprintln!("usage: wtf-audit [--check] [--inventory PATH] [--dot PATH] [ROOT]");
+    ExitCode::from(2)
+}

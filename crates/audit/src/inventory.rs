@@ -1,0 +1,198 @@
+//! Inventory assembly + deterministic pretty-JSON rendering.
+//!
+//! The inventory is the checked-in CI baseline (`results/
+//! audit_inventory.json`): one entry per `(crate, key)` atomic with its
+//! contract tokens and per-op ordering *counts* across the workspace,
+//! the lock-order classes/edges, and per-file unsafe accounting. Line
+//! numbers are deliberately omitted so unrelated edits never churn the
+//! baseline — but adding, removing, or re-ordering any atomic call site
+//! shifts the counts and shows up in the CI diff.
+
+use std::collections::BTreeMap;
+
+use crate::atomics::AtomicsReport;
+use crate::lockorder::LockReport;
+use crate::unsafe_audit::UnsafeReport;
+
+/// Renders the full inventory as deterministic, diff-friendly JSON.
+pub fn render(atomics: &AtomicsReport, locks: &LockReport, unsafes: &UnsafeReport) -> String {
+    // merge declarations by (crate, key)
+    #[derive(Default)]
+    struct Entry {
+        types: BTreeMap<String, ()>,
+        files: BTreeMap<String, ()>,
+        contract: BTreeMap<String, ()>,
+        // op -> ordering -> count
+        sites: BTreeMap<&'static str, BTreeMap<&'static str, u64>>,
+    }
+    let mut entries: BTreeMap<(String, String), Entry> = BTreeMap::new();
+    for d in &atomics.decls {
+        for k in &d.keys {
+            let e = entries
+                .entry((d.crate_name.clone(), k.clone()))
+                .or_default();
+            e.types.insert(d.ty.clone(), ());
+            e.files.insert(d.file.clone(), ());
+            for t in &d.tokens {
+                e.contract.insert(t.clone(), ());
+            }
+        }
+    }
+    for s in &atomics.sites {
+        let Some(key) = &s.key else { continue };
+        let Some(e) = entries.get_mut(&(s.crate_name.clone(), key.clone())) else {
+            continue;
+        };
+        for ord in &s.orderings {
+            *e.sites.entry(s.op).or_default().entry(ord).or_insert(0) += 1;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"wtf-audit-inventory/v1\",\n  \"atomics\": [\n");
+    let n = entries.len();
+    for (i, ((krate, key), e)) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"crate\": {},\n", quote(krate)));
+        out.push_str(&format!("      \"key\": {},\n", quote(key)));
+        out.push_str(&format!(
+            "      \"types\": [{}],\n",
+            e.types
+                .keys()
+                .map(|t| quote(t))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            "      \"files\": [{}],\n",
+            e.files
+                .keys()
+                .map(|f| quote(f))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            "      \"contract\": [{}],\n",
+            e.contract
+                .keys()
+                .map(|t| quote(t))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("      \"sites\": {");
+        let mut first_op = true;
+        for (op, ords) in &e.sites {
+            if !first_op {
+                out.push_str(", ");
+            }
+            first_op = false;
+            out.push_str(&format!("{}: {{", quote(op)));
+            let mut first_ord = true;
+            for (ord, count) in ords {
+                if !first_ord {
+                    out.push_str(", ");
+                }
+                first_ord = false;
+                out.push_str(&format!("{}: {}", quote(ord), count));
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+        out.push_str(if i + 1 == n { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n  \"locks\": {\n    \"classes\": [\n");
+    let n = locks.classes.len();
+    for (i, c) in locks.classes.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"crate\": {}, \"class\": {}, \"key\": {}, \"file\": {}, \
+             \"mask_ordered\": {}}}{}\n",
+            quote(&c.crate_name),
+            quote(&c.class),
+            quote(&c.key),
+            quote(&c.file),
+            c.mask_ordered,
+            if i + 1 == n { "" } else { "," }
+        ));
+    }
+    out.push_str("    ],\n    \"edges\": [\n");
+    let n = locks.edges.len();
+    for (i, e) in locks.edges.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"from\": {}, \"to\": {}, \"site\": {}}}{}\n",
+            quote(&e.from),
+            quote(&e.to),
+            quote(&e.site),
+            if i + 1 == n { "" } else { "," }
+        ));
+    }
+    out.push_str("    ],\n    \"mask_sources\": [");
+    out.push_str(
+        &locks
+            .mask_sources
+            .iter()
+            .map(|s| quote(s))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("]\n  },\n  \"unsafe\": [\n");
+    let n = unsafes.files.len();
+    for (i, u) in unsafes.files.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"sites\": {}, \"refs\": [{}]}}{}\n",
+            quote(&u.file),
+            u.sites,
+            u.refs
+                .iter()
+                .map(|r| quote(r))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 == n { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    #[test]
+    fn render_is_deterministic_and_counts_sites() {
+        let src = "struct S {\n    // ordering: release-store, acquire-load\n    head: AtomicU64,\n}\n\
+                   impl S {\n    fn f(&self) -> u64 {\n        self.head.store(1, Ordering::Release);\n        \
+                   self.head.load(Ordering::Acquire)\n    }\n}\n";
+        let files = vec![SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "x".into(),
+            false,
+            src.into(),
+        )];
+        let atomics = crate::atomics::analyze(&files);
+        let locks = crate::lockorder::analyze(&files);
+        let unsafes = crate::unsafe_audit::analyze(&files, &Default::default());
+        let a = render(&atomics, &locks, &unsafes);
+        let b = render(&atomics, &locks, &unsafes);
+        assert_eq!(a, b);
+        assert!(a.contains("\"key\": \"head\""));
+        assert!(a.contains("\"load\": {\"acquire\": 1}"));
+        assert!(a.contains("\"store\": {\"release\": 1}"));
+    }
+}

@@ -1,0 +1,632 @@
+//! Shared scanner plumbing for the audit passes.
+//!
+//! Same hand-rolled approach as `wtf-lint` (no proc-macro parser is
+//! available offline): comments and string/char literals are masked to
+//! spaces first so structural scans never match inside them, offsets and
+//! line numbers survive masking, and `#[cfg(test)]` / `#[test]` regions
+//! are brace-tracked so contracts only bind to runtime code. On top of
+//! the lint's machinery this adds the pieces the audit needs: receiver
+//! resolution for method calls (`self.slots[i].0.load(..)` → `slots`),
+//! `impl` block spans (so `self.0` resolves to the wrapper type), brace
+//! depth maps (binding scopes), and comment-block extraction (contract
+//! comments live in the *unmasked* text directly above a declaration).
+//!
+//! `$` counts as an identifier character throughout so `macro_rules!`
+//! bodies audit like ordinary code: the `$name: AtomicU64` field in
+//! `core/src/stats.rs`'s `counters!` macro and its `self.$name.load(..)`
+//! call sites match each other under the key `$name`.
+
+/// One parsed source file plus the derived views every pass needs.
+pub struct SourceFile {
+    /// Workspace-relative display path.
+    pub path: String,
+    /// Owning crate short name (`mvstm`, `tl2`, ...) — or the file stem
+    /// for loose files (fixtures), so fixture keys never cross-talk.
+    pub crate_name: String,
+    /// Whole file is test code (under `tests/`, `benches/`, ...).
+    pub test_file: bool,
+    /// Raw source (contract comments are read from here).
+    pub src: String,
+    /// Comments and string/char literals blanked, same length as `src`.
+    pub masked: String,
+    /// Byte offset of each line start.
+    pub starts: Vec<usize>,
+    /// Per-line flag: inside a `#[cfg(test)]` / `#[test]` region.
+    pub test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn new(path: String, crate_name: String, test_file: bool, src: String) -> SourceFile {
+        let masked = mask_comments_and_strings(&src);
+        let starts = line_starts(&masked);
+        let test_lines = test_line_mask(&masked, &starts);
+        SourceFile {
+            path,
+            crate_name,
+            test_file,
+            src,
+            masked,
+            starts,
+            test_lines,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, off: usize) -> usize {
+        match self.starts.binary_search(&off) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Is this offset inside test code (test file or `#[cfg(test)]`)?
+    pub fn in_test(&self, off: usize) -> bool {
+        self.test_file
+            || self
+                .test_lines
+                .get(self.line_of(off) - 1)
+                .copied()
+                .unwrap_or(false)
+    }
+
+    /// Raw text of a 1-based line (without trailing newline).
+    pub fn raw_line(&self, line: usize) -> &str {
+        let begin = self.starts[line - 1];
+        let end = self.starts.get(line).copied().unwrap_or(self.src.len());
+        self.src[begin..end].trim_end_matches('\n')
+    }
+
+    /// The contiguous comment block directly above `line` (1-based), in
+    /// top-to-bottom order, with attribute lines (`#[...]`) transparent —
+    /// so a contract sits naturally above `#[repr(align(64))]`.
+    pub fn comment_block_above(&self, line: usize) -> Vec<&str> {
+        let mut block = Vec::new();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let text = self.raw_line(l).trim();
+            if text.starts_with("#[") || text.starts_with("#![") {
+                continue;
+            }
+            if text.starts_with("//") {
+                block.push(text);
+            } else {
+                break;
+            }
+        }
+        block.reverse();
+        block
+    }
+}
+
+/// Replaces the contents of comments and string/char literals with spaces
+/// (newlines kept), so offsets and line numbers survive.
+///
+/// Works byte-wise: a multi-byte character inside a masked region becomes
+/// one space *per byte*, so `masked` is always exactly as long as `src`
+/// and every offset computed against one indexes the other. (Replaced
+/// runs sit between ASCII delimiters, so whole UTF-8 sequences are always
+/// replaced together and the result stays valid UTF-8.)
+pub fn mask_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let n = b.len();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for c in out.iter_mut().take(to).skip(from) {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start + 1, i.saturating_sub(1).min(n));
+            }
+            b'r' if i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // raw string r"..." / r#"..."# (only when it starts a
+                // token: previous byte must not be identifier-ish)
+                if i > 0 && (is_ident_byte(b[i - 1]) || b[i - 1] >= 0x80) {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j >= n || b[j] != b'"' {
+                    i += 1;
+                    continue;
+                }
+                j += 1;
+                'raw: while j < n {
+                    if b[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                blank(&mut out, start + 1, j.saturating_sub(1));
+                i = j;
+            }
+            b'\'' => {
+                // char literal vs lifetime: a literal closes within a few
+                // bytes; a lifetime never closes with `'`.
+                if i + 2 < n && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < n && b[j] != b'\'' && j - i < 12 {
+                        j += 1;
+                    }
+                    if j < n && b[j] == b'\'' {
+                        blank(&mut out, i + 1, j);
+                        i = j + 1;
+                        continue;
+                    }
+                } else if i + 2 < n && b[i + 2] == b'\'' {
+                    // one-byte char literal 'x'
+                    blank(&mut out, i + 1, i + 2);
+                    i += 3;
+                    continue;
+                } else if i + 1 < n && b[i + 1] >= 0x80 {
+                    // multi-byte char literal '…' (lifetimes are ASCII, so
+                    // a non-ASCII byte here can only start a literal)
+                    let mut j = i + 1;
+                    while j < n && b[j] != b'\'' && j - i < 6 {
+                        j += 1;
+                    }
+                    if j < n && b[j] == b'\'' {
+                        blank(&mut out, i + 1, j);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking only rewrites whole delimited runs to ASCII")
+}
+
+pub fn line_starts(s: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, c) in s.char_indices() {
+        if c == '\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Marks every line inside a `#[cfg(test)]` / `#[test]` item as test code
+/// (brace-matched; `mod tests;`-style declarations end at the `;`).
+fn test_line_mask(masked: &str, starts: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; starts.len()];
+    let bytes = masked.as_bytes();
+    let mut mark = |from: usize, to: usize| {
+        let first = match starts.binary_search(&from) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let last = match starts.binary_search(&to) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        for m in mask.iter_mut().take(last + 1).skip(first) {
+            *m = true;
+        }
+    };
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        for off in find_all(masked, attr) {
+            let mut i = off + attr.len();
+            let mut depth = 0usize;
+            let mut seen_brace = false;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if seen_brace && depth == 0 {
+                            break;
+                        }
+                    }
+                    b';' if !seen_brace => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            mark(off, i.min(bytes.len().saturating_sub(1)));
+        }
+    }
+    mask
+}
+
+pub fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = haystack[from..].find(needle) {
+        out.push(from + p);
+        from += p + needle.len();
+    }
+    out
+}
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '$'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'$'
+}
+
+/// Word-boundary occurrences of `word` (identifier boundaries, `$`
+/// counted as an identifier char so macro metavariables stay whole).
+pub fn find_word_all(haystack: &str, word: &str) -> Vec<usize> {
+    let bytes = haystack.as_bytes();
+    find_all(haystack, word)
+        .into_iter()
+        .filter(|&at| {
+            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+            let after = at + word.len();
+            let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+            before_ok && after_ok
+        })
+        .collect()
+}
+
+pub fn has_word(haystack: &str, word: &str) -> bool {
+    !find_word_all(haystack, word).is_empty()
+}
+
+/// The parenthesized argument text starting at the first `(` at/after
+/// `from` (paren-matched), if any; returns `(args, end_offset)` where
+/// `end_offset` is just past the closing paren.
+pub fn call_args(masked: &str, from: usize) -> Option<(&str, usize)> {
+    let bytes = masked.as_bytes();
+    let open = (from..masked.len()).find(|&i| bytes[i] == b'(')?;
+    if masked[from..open].trim() != "" {
+        return None;
+    }
+    let mut depth = 0usize;
+    for i in open..bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((&masked[open + 1..i], i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Brace depth *before* each byte (number of unclosed `{`).
+pub fn brace_depths(masked: &str) -> Vec<u32> {
+    let bytes = masked.as_bytes();
+    let mut depths = Vec::with_capacity(bytes.len() + 1);
+    let mut d: u32 = 0;
+    for &b in bytes {
+        depths.push(d);
+        match b {
+            b'{' => d += 1,
+            b'}' => d = d.saturating_sub(1),
+            _ => {}
+        }
+    }
+    depths.push(d);
+    depths
+}
+
+/// What a method call's receiver resolves to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// Nearest field/binding/static identifier (`self.slots[i].0.load`
+    /// → `slots`; `NEXT_THREAD.fetch_add` → `NEXT_THREAD`).
+    Ident(String),
+    /// The call is directly on `self` (via tuple index, e.g.
+    /// `self.0.load` in a newtype impl) — resolve via the `impl` type.
+    SelfValue,
+    /// Call result, parenthesized expression, or otherwise untraceable.
+    Opaque,
+}
+
+/// Resolves the receiver of a `.method(...)` call: scans left from the
+/// `.` at `dot`, skipping tuple indices (`.0`) and index expressions
+/// (`[...]`), to the nearest path segment identifier.
+pub fn resolve_receiver(masked: &str, dot: usize) -> Receiver {
+    let b = masked.as_bytes();
+    let mut i = dot; // points at '.'
+    loop {
+        while i > 0 && (b[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+        if i == 0 {
+            return Receiver::Opaque;
+        }
+        match b[i - 1] {
+            b']' => {
+                // skip a balanced [...] index expression
+                let mut depth = 0i32;
+                let mut k = i - 1;
+                loop {
+                    match b[k] {
+                        b']' => depth += 1,
+                        b'[' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return Receiver::Opaque;
+                    }
+                    k -= 1;
+                }
+                i = k;
+            }
+            b')' | b'>' => return Receiver::Opaque,
+            c if is_ident_byte(c) => {
+                let mut k = i;
+                while k > 0 && is_ident_byte(b[k - 1]) {
+                    k -= 1;
+                }
+                let ident = &masked[k..i];
+                if ident.bytes().all(|c| c.is_ascii_digit()) {
+                    // tuple index: continue through the preceding '.'
+                    let mut m = k;
+                    while m > 0 && (b[m - 1] as char).is_whitespace() {
+                        m -= 1;
+                    }
+                    if m > 0 && b[m - 1] == b'.' {
+                        i = m - 1;
+                        continue;
+                    }
+                    return Receiver::Opaque;
+                }
+                if ident == "self" {
+                    return Receiver::SelfValue;
+                }
+                // deref/star prefixes don't change the segment name
+                return Receiver::Ident(ident.to_string());
+            }
+            _ => return Receiver::Opaque,
+        }
+    }
+}
+
+/// `impl` block spans: `(start, end, type_name)`, where `type_name` is
+/// the last path segment of the implemented type (generics stripped).
+pub fn impl_blocks(masked: &str) -> Vec<(usize, usize, String)> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for off in find_word_all(masked, "impl") {
+        // header runs to the block's `{` (generics contain no braces)
+        let Some(open_rel) = masked[off..].find('{') else {
+            continue;
+        };
+        let open = off + open_rel;
+        let header = &masked[off + "impl".len()..open];
+        let ty_part = match header.rfind(" for ") {
+            Some(p) => &header[p + 5..],
+            None => header,
+        };
+        // strip generics and `where` clauses, take the last path segment
+        let ty_part = ty_part.split('<').next().unwrap_or(ty_part);
+        let ty_part = ty_part.split("where").next().unwrap_or(ty_part);
+        let name = ty_part
+            .split("::")
+            .last()
+            .unwrap_or("")
+            .trim()
+            .trim_start_matches('&')
+            .trim();
+        if name.is_empty() || !name.chars().all(is_ident_char) {
+            continue;
+        }
+        // brace-match to the block end
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (j, &c) in bytes.iter().enumerate().skip(open) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push((off, end, name.to_string()));
+    }
+    out
+}
+
+/// The innermost `impl` type containing `off`, if any.
+pub fn enclosing_impl_type(impls: &[(usize, usize, String)], off: usize) -> Option<&str> {
+    impls
+        .iter()
+        .filter(|(s, e, _)| *s <= off && off < *e)
+        .min_by_key(|(s, e, _)| e - s)
+        .map(|(_, _, n)| n.as_str())
+}
+
+/// Statement bounds around `off`: from just after the previous `;`, `{`
+/// or `}` to just before the next `;` or `{` (shallow; good enough to
+/// classify statement heads and trailing `.push(..)` shapes).
+pub fn statement_span(masked: &str, off: usize) -> (usize, usize) {
+    let bytes = masked.as_bytes();
+    let start = bytes[..off]
+        .iter()
+        .rposition(|&c| c == b';' || c == b'{' || c == b'}')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let mut end = bytes.len();
+    let mut depth = 0usize;
+    for (j, &c) in bytes.iter().enumerate().skip(off) {
+        match c {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b';' | b'{' if depth == 0 => {
+                end = j;
+                break;
+            }
+            _ => {}
+        }
+    }
+    (start, end)
+}
+
+/// End offset of the innermost block containing `off`: scans forward to
+/// the first point where brace depth drops below `depths[off]`.
+pub fn enclosing_block_end(depths: &[u32], off: usize) -> usize {
+    let base = depths[off];
+    for (j, &d) in depths.iter().enumerate().skip(off + 1) {
+        if d < base {
+            return j;
+        }
+    }
+    depths.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_resolution() {
+        let m = "self.slots[shard.idx].0.load(x)";
+        let dot = m.rfind(".load").unwrap();
+        assert_eq!(
+            resolve_receiver(m, dot),
+            Receiver::Ident("slots".to_string())
+        );
+        let m = "self.0.fetch_add(1, o)";
+        assert_eq!(
+            resolve_receiver(m, m.find(".fetch_add").unwrap()),
+            Receiver::SelfValue
+        );
+        let m = "NEXT_THREAD.fetch_add(1, o)";
+        assert_eq!(
+            resolve_receiver(m, m.find(".fetch_add").unwrap()),
+            Receiver::Ident("NEXT_THREAD".to_string())
+        );
+        let m = "(*node).next.load(o)";
+        assert_eq!(
+            resolve_receiver(m, m.find(".load").unwrap()),
+            Receiver::Ident("next".to_string())
+        );
+        let m = "self.$name.load(o)";
+        assert_eq!(
+            resolve_receiver(m, m.find(".load").unwrap()),
+            Receiver::Ident("$name".to_string())
+        );
+        let m = "make().load(o)";
+        assert_eq!(
+            resolve_receiver(m, m.find(".load").unwrap()),
+            Receiver::Opaque
+        );
+    }
+
+    #[test]
+    fn impl_block_types() {
+        let src =
+            "impl Counter { fn a(&self) {} }\nimpl fmt::Display for ActorSource { fn b() {} }\n";
+        let impls = impl_blocks(src);
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].2, "Counter");
+        assert_eq!(impls[1].2, "ActorSource");
+        let off = src.find("fn a").unwrap();
+        assert_eq!(enclosing_impl_type(&impls, off), Some("Counter"));
+    }
+
+    #[test]
+    fn masking_preserves_byte_length_with_multibyte_chars() {
+        // Em-dashes and other multi-byte chars inside comments/strings
+        // must not shift offsets: masked and src index each other.
+        let src = "// a — dash\nlet s = \"τ —\";\nlet c = '—';\nfn f<'a>(x: &'a u8) {}\n";
+        let masked = mask_comments_and_strings(src);
+        assert_eq!(masked.len(), src.len());
+        assert_eq!(masked.matches('\n').count(), src.matches('\n').count());
+        assert!(masked.contains("fn f<'a>(x: &'a u8)"));
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "x".into(),
+            false,
+            "// prose — prose\n// ordering: relaxed-load\nstatic A: AtomicU64 = AtomicU64::new(0);\n"
+                .into(),
+        );
+        assert_eq!(
+            f.comment_block_above(3),
+            vec!["// prose — prose", "// ordering: relaxed-load"]
+        );
+    }
+
+    #[test]
+    fn comment_block_skips_attributes() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "x".into(),
+            false,
+            "// ordering: relaxed-load\n#[repr(align(64))]\nstruct S(AtomicU64);\n".into(),
+        );
+        let block = f.comment_block_above(3);
+        assert_eq!(block, vec!["// ordering: relaxed-load"]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Unsafe audit: every `unsafe` block / `unsafe impl` / `unsafe fn` in
+//! runtime code must carry a `// SAFETY:` comment stating the invariant
+//! it relies on — either trailing on the same line or in the comment
+//! block directly above the statement.
+//!
+//! SAFETY comments are cross-referenced to the atomics inventory:
+//! backtick-quoted identifiers in the justification that name declared
+//! atomic keys of the same crate are recorded per file, so the inventory
+//! shows which unsafe code depends on which published atomic protocol
+//! (e.g. vbox reclamation depending on `head`'s release/acquire pairs).
+
+use std::collections::BTreeSet;
+
+use crate::scan::{self, SourceFile};
+use crate::Finding;
+
+/// Per-file unsafe accounting for the inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeFile {
+    pub file: String,
+    /// Number of `unsafe` occurrences audited (blocks + impls + fns).
+    pub sites: usize,
+    /// Inventory keys referenced from SAFETY justifications.
+    pub refs: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+pub struct UnsafeReport {
+    pub files: Vec<UnsafeFile>,
+    pub findings: Vec<Finding>,
+}
+
+/// `atomic_keys`: declared atomic keys of each crate, as
+/// `(crate_name, key)` pairs, for SAFETY cross-referencing.
+pub fn analyze(files: &[SourceFile], atomic_keys: &BTreeSet<(String, String)>) -> UnsafeReport {
+    let mut report = UnsafeReport::default();
+    for f in files {
+        if f.test_file {
+            continue;
+        }
+        let mut sites = 0usize;
+        let mut refs: BTreeSet<String> = BTreeSet::new();
+        for off in scan::find_word_all(&f.masked, "unsafe") {
+            if f.in_test(off) {
+                continue;
+            }
+            sites += 1;
+            let line = f.line_of(off);
+            // SAFETY on the same line (raw text: comments are masked) or
+            // in the contiguous comment block above.
+            let mut justification = String::new();
+            let raw = f.raw_line(line);
+            if let Some(p) = raw.find("SAFETY:") {
+                justification.push_str(&raw[p..]);
+            } else {
+                for l in f.comment_block_above(line) {
+                    justification.push_str(l);
+                    justification.push(' ');
+                }
+                if !justification.contains("SAFETY:") {
+                    justification.clear();
+                }
+            }
+            if justification.is_empty() {
+                report.findings.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "unsafe-missing-safety",
+                    message: "`unsafe` without a `// SAFETY:` justification stating the \
+                              invariant it relies on"
+                        .to_string(),
+                });
+                continue;
+            }
+            // backtick-quoted inventory keys in the justification
+            let mut rest = justification.as_str();
+            while let Some(p) = rest.find('`') {
+                let tail = &rest[p + 1..];
+                let Some(end) = tail.find('`') else { break };
+                let ident = &tail[..end];
+                if !ident.is_empty()
+                    && ident.chars().all(scan::is_ident_char)
+                    && atomic_keys.contains(&(f.crate_name.clone(), ident.to_string()))
+                {
+                    refs.insert(ident.to_string());
+                }
+                rest = &tail[end + 1..];
+            }
+        }
+        if sites > 0 {
+            report.files.push(UnsafeFile {
+                file: f.path.clone(),
+                sites,
+                refs: refs.into_iter().collect(),
+            });
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.files.sort_by(|a, b| a.file.cmp(&b.file));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(pairs: &[(&str, &str)]) -> BTreeSet<(String, String)> {
+        pairs
+            .iter()
+            .map(|(c, k)| (c.to_string(), k.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn missing_safety_flagged() {
+        let f = SourceFile::new(
+            "crates/x/src/lib.rs".into(),
+            "x".into(),
+            false,
+            "fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n".into(),
+        );
+        let r = analyze(&[f], &keys(&[]));
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "unsafe-missing-safety");
+    }
+
+    #[test]
+    fn safety_above_or_trailing_accepted_and_cross_referenced() {
+        let src = "fn f(p: *const u32) -> u32 {\n    // SAFETY: `head` is published with \
+                   release-store, so *p is initialized.\n    unsafe { *p }\n}\n\
+                   unsafe impl Sync for T {} // SAFETY: single-writer `len` protocol\n";
+        let f = SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), false, src.into());
+        let r = analyze(&[f], &keys(&[("x", "head"), ("x", "len")]));
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.files[0].sites, 2);
+        assert_eq!(r.files[0].refs, vec!["head".to_string(), "len".to_string()]);
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f(p: *const u32) -> u32 { unsafe { *p } }\n}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), false, src.into());
+        assert!(analyze(&[f], &keys(&[])).findings.is_empty());
+    }
+}

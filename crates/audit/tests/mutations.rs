@@ -1,0 +1,103 @@
+//! Mutation tests: the audit's teeth. Take the *real* `wtf-mvstm`
+//! source, break one thing — delete a contract comment, strengthen one
+//! `Ordering::` past its contract — and assert the audit notices. If
+//! these fail, the checker has gone soft and the workspace gate is
+//! theater.
+
+use std::path::Path;
+use wtf_audit::scan::SourceFile;
+
+/// Every runtime source file of `wtf-mvstm`, classified as the audit
+/// walk would classify it, with `mutate` applied to `vbox.rs`.
+fn mvstm_files(mutate: impl Fn(&str) -> String) -> Vec<SourceFile> {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../mvstm/src");
+    let mut paths: Vec<_> = std::fs::read_dir(&src_dir)
+        .expect("crates/mvstm/src")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .filter(|p| p.file_stem().is_some_and(|s| s != "tests"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let mut src = std::fs::read_to_string(&p).expect("read mvstm source");
+            if p.file_name().is_some_and(|n| n == "vbox.rs") {
+                src = mutate(&src);
+            }
+            SourceFile::new(
+                p.to_string_lossy().to_string(),
+                "mvstm".to_string(),
+                false,
+                src,
+            )
+        })
+        .collect()
+}
+
+fn findings_for(mutate: impl Fn(&str) -> String) -> Vec<wtf_audit::Finding> {
+    wtf_audit::audit_files(mvstm_files(mutate)).findings()
+}
+
+#[test]
+fn unmutated_mvstm_is_clean() {
+    let findings = findings_for(|s| s.to_string());
+    assert!(findings.is_empty(), "baseline must be clean: {findings:?}");
+}
+
+#[test]
+fn deleting_a_contract_comment_fails_the_audit() {
+    // Drop the whole `// ordering:` block above `head` (contract lines
+    // are contiguous `//` comments; removing only lines containing
+    // contract tokens suffices to decapitate it).
+    let findings = findings_for(|s| {
+        let mut removed = 0;
+        let out: Vec<&str> = s
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                let is_contract =
+                    t.starts_with("//") && (t.contains("ordering:") || t.contains("ordering("));
+                if is_contract {
+                    removed += 1;
+                }
+                !is_contract
+            })
+            .collect();
+        assert!(removed > 0, "vbox.rs should have contract comments");
+        out.join("\n")
+    });
+    assert!(
+        findings.iter().any(|f| f.rule == "missing-contract"),
+        "decapitated contracts must be caught: {findings:?}"
+    );
+}
+
+#[test]
+fn strengthening_one_ordering_fails_the_audit() {
+    // `vbox.rs` contracts allow acquire loads; a SeqCst load is outside
+    // every declared protocol there.
+    let findings = findings_for(|s| {
+        assert!(s.contains("Ordering::Acquire"), "vbox.rs uses Acquire");
+        s.replacen("Ordering::Acquire", "Ordering::SeqCst", 1)
+    });
+    assert!(
+        findings.iter().any(|f| f.rule == "ordering-violation"),
+        "an off-contract Ordering:: must be caught: {findings:?}"
+    );
+}
+
+#[test]
+fn deleting_a_safety_comment_fails_the_audit() {
+    let findings = findings_for(|s| {
+        let out: Vec<&str> = s
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("// SAFETY:"))
+            .collect();
+        out.join("\n")
+    });
+    assert!(
+        findings.iter().any(|f| f.rule == "unsafe-missing-safety"),
+        "stripped SAFETY comments must be caught: {findings:?}"
+    );
+}

@@ -95,6 +95,9 @@ impl BackendKind {
 
 /// Scoped override consulted by [`BackendKind::from_env`] ahead of
 /// `WTF_BACKEND`: `0` = none, else `1 + index into BackendKind::ALL`.
+// ordering: seqcst-store / seqcst-load — test-only override knob, set
+// under `BACKEND_OVERRIDE_LOCK` and read once per TM construction.
+// SeqCst keeps the knob trivially ordered; it is never on a hot path.
 static BACKEND_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 /// Serializes [`with_backend`] scopes (overrides must not interleave
 /// when tests sweep backends from parallel test threads).

@@ -104,6 +104,16 @@ fn bench_trace_overhead(c: &mut Criterion) {
         b.iter(|| commit_loop(&stm, &boxes))
     });
 
+    // One full gauge sweep over an Stm with live transactions having come
+    // and gone. The `stm_active_snapshots` / `stm_registry_occupancy`
+    // probes scan every registry slot; since the concurrency-audit pass
+    // those scans are `Relaxed` (they decide nothing — see the ordering
+    // contract in `registry.rs`), so this row pins the diagnostic-probe
+    // cost the SeqCst→Relaxed downgrade bought back.
+    g.bench_function("gauge_read_all_registry_probe", |b| {
+        b.iter(|| black_box(stm.tracer().gauges.read_all()))
+    });
+
     g.finish();
 }
 

@@ -29,7 +29,10 @@
 //! Suppress a finding with `// wtf-lint: allow(rule)` on the same or the
 //! preceding line. Files under `tests/`, `benches/` or `examples/` are
 //! test code; `crates/mvstm`, `crates/core` and `crates/check` are the
-//! runtime (the `raw-api` and `snapshot-retained` rules do not apply).
+//! runtime (the `raw-api`, `snapshot-retained` and `unchecked-atomic`
+//! rules do not apply — the runtime crates' concurrency discipline is
+//! `wtf-audit`'s jurisdiction, which checks the atomics themselves
+//! rather than how their results are consumed).
 
 use std::fmt;
 use std::path::Path;
@@ -161,21 +164,26 @@ pub fn lint_source_with(file: &str, src: &str, ctx: FileCtx) -> Vec<Finding> {
     }
 
     // unchecked-atomic: `.unwrap()`/`.expect(` on atomic/commit results.
-    for (off, name) in calls(&masked) {
-        if name != "atomic" && name != "commit" {
-            continue;
-        }
-        let rest = masked[off..].trim_start();
-        if rest.starts_with(".unwrap()") || rest.starts_with(".expect(") {
-            push(
-                off,
-                "unchecked-atomic",
-                format!(
-                    "`{name}(..)` result unwrapped in non-test code; handle the \
-                     abort/conflict case explicitly (or use `atomic_infallible`)"
-                ),
-                true,
-            );
+    // Off in runtime crates: wtf-audit owns their concurrency discipline
+    // (the runtime deliberately unwraps in documented teaching examples,
+    // and its own atomics are contract-checked at the source).
+    if !ctx.runtime_crate {
+        for (off, name) in calls(&masked) {
+            if name != "atomic" && name != "commit" {
+                continue;
+            }
+            let rest = masked[off..].trim_start();
+            if rest.starts_with(".unwrap()") || rest.starts_with(".expect(") {
+                push(
+                    off,
+                    "unchecked-atomic",
+                    format!(
+                        "`{name}(..)` result unwrapped in non-test code; handle the \
+                         abort/conflict case explicitly (or use `atomic_infallible`)"
+                    ),
+                    true,
+                );
+            }
         }
     }
 
@@ -213,7 +221,18 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
                 .iter()
                 .any(|r| rel.contains(r)),
         };
-        let src = std::fs::read_to_string(&path)?;
+        // Read errors carry the offending path (a bare io::Error from a
+        // deep walk is undebuggable); non-UTF8 bytes are linted lossily
+        // rather than aborting the whole tree.
+        let src = match std::fs::read(&path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("{}: {e}", path.display()),
+                ))
+            }
+        };
         out.extend(lint_source_with(&rel, &src, ctx));
     }
     Ok(out)
@@ -578,6 +597,45 @@ mod tests {
         assert_eq!(findings[0].rule, "unchecked-atomic");
         let test_src = "#[cfg(test)]\nmod t {\n    fn f(stm: &Stm) { stm.atomic(|tx| tx.read(&b)).unwrap(); }\n}\n";
         assert!(lint_source("app.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_atomic_defers_to_audit_in_runtime_crates() {
+        let src = "fn f(stm: &Stm) { stm.atomic(|tx| tx.read(&b)).unwrap(); }\n";
+        let runtime = lint_source_with(
+            "crates/mvstm/src/x.rs",
+            src,
+            FileCtx {
+                test_file: false,
+                runtime_crate: true,
+            },
+        );
+        assert!(
+            runtime.is_empty(),
+            "runtime crates are wtf-audit's jurisdiction: {runtime:?}"
+        );
+    }
+
+    #[test]
+    fn lint_tree_survives_non_utf8_files() {
+        let dir = std::env::temp_dir().join(format!("wtf_lint_nonutf8_{}", std::process::id()));
+        let sub = dir.join("src");
+        std::fs::create_dir_all(&sub).unwrap();
+        // Invalid UTF-8 in a comment: common when editors write latin-1.
+        std::fs::write(sub.join("bad.rs"), b"fn f() {} // caf\xe9\n").unwrap();
+        std::fs::write(
+            sub.join("good.rs"),
+            "fn f(stm: &Stm) { stm.atomic(|tx| tx.read(&b)).unwrap(); }\n",
+        )
+        .unwrap();
+        let findings = lint_tree(&dir).expect("non-UTF8 files lint lossily, not fatally");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "unchecked-atomic" && f.file.ends_with("good.rs")),
+            "the rest of the tree still lints: {findings:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub struct AdaptiveCm {
     /// Window abort rate (per-mille) at or above which it counts as hot.
     hot_per_mille: u64,
     state: Mutex<FlipState>,
+    // ordering: release-store on a hysteresis flip publishes the mode
+    // change; the acquire-load in `serialize_at_submission` pairs with
+    // it, so a top-level that samples strong mode at begin also sees the
+    // window state that justified the flip. (Downgraded from SeqCst:
+    // nothing compares this flag against another atomic's order — each
+    // transaction samples it exactly once.)
     strong: AtomicBool,
     counters: CmCounters,
 }
@@ -107,7 +113,7 @@ impl ContentionManager for AdaptiveCm {
             HysteresisEdge::Opened => true,
             HysteresisEdge::Recovered => false,
         };
-        self.strong.store(to_strong, Ordering::SeqCst);
+        self.strong.store(to_strong, Ordering::Release);
         self.counters.count_flip();
         Some(AdaptiveFlip {
             to_strong,
@@ -116,7 +122,7 @@ impl ContentionManager for AdaptiveCm {
     }
 
     fn serialize_at_submission(&self) -> bool {
-        self.strong.load(Ordering::SeqCst)
+        self.strong.load(Ordering::Acquire)
     }
 
     fn stats(&self) -> CmStats {

@@ -115,6 +115,9 @@ impl CmKind {
     }
 }
 
+// ordering: seqcst-store / seqcst-load — test-only override knob, set
+// under `CM_OVERRIDE_LOCK` and read once per TM construction. SeqCst
+// keeps the knob trivially ordered; it is never on a hot path.
 static CM_OVERRIDE: AtomicU64 = AtomicU64::new(0);
 static CM_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
@@ -311,9 +314,13 @@ pub trait ContentionManager: Send + Sync {
 /// Shared counter block used by every policy.
 #[derive(Debug, Default)]
 pub(crate) struct CmCounters {
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     waits: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     total_wait: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     serialized_boxes: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     adaptive_flips: AtomicU64,
 }
 
@@ -344,6 +351,8 @@ impl CmCounters {
 }
 
 /// Monotonic actor-token source shared by the policies.
+// ordering(ActorSource): relaxed-rmw — ids only need uniqueness, not
+// ordering; nothing is published through the counter.
 #[derive(Debug, Default)]
 pub(crate) struct ActorSource(AtomicU64);
 

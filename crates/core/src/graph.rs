@@ -148,6 +148,11 @@ impl GraphInner {
 /// The shared, stamped graph.
 pub struct Graph {
     inner: RwLock<Arc<GraphInner>>,
+    // ordering: seqcst-rmw — the bump happens under the write lock after
+    // the new graph is published; seqcst-load on the read side keeps the
+    // stamp totally ordered against graph publication, which the
+    // unlocked stamp/re-check protocol in `ctx.rs` relies on (an
+    // acquire-load would admit a stale stamp paired with a newer graph).
     stamp: AtomicU64,
 }
 

@@ -109,7 +109,11 @@ pub(crate) struct TmInner {
     /// Observability hooks; shared with the STM and the task pool so one
     /// summary covers all layers. Disabled by default.
     pub(crate) tracer: Arc<Tracer>,
+    // ordering: relaxed-rmw — monotonic id source; ids only need
+    // uniqueness, nothing is published through the counter.
     top_counter: AtomicU64,
+    // ordering: relaxed-rmw — monotonic id source; ids only need
+    // uniqueness, nothing is published through the counter.
     future_counter: AtomicU64,
     /// Weak handles to in-flight top-levels (live-graph gauges, watchdog
     /// snapshots, auto-dumps). Dead entries are pruned opportunistically
@@ -117,8 +121,14 @@ pub(crate) struct TmInner {
     pub(crate) tops: Mutex<Vec<std::sync::Weak<TopLevel>>>,
     /// Consecutive cross-top conflict aborts since the last commit
     /// (abort-storm detection; see `inspect`).
+    // ordering: relaxed-rmw bumps the streak, relaxed-store resets it —
+    // a diagnostics heuristic; an off-by-one streak at worst delays or
+    // duplicates one auto-dump. relaxed-guard: the threshold comparison
+    // only rate-limits diagnostics output.
     pub(crate) conflict_abort_streak: AtomicU64,
     /// Remaining automatic graph dumps (rate limit; see `inspect`).
+    // ordering: relaxed-rmw — the budget is claimed with a single-word
+    // `fetch_update`; no data is published through it.
     pub(crate) dumps_remaining: AtomicU64,
     /// Cumulative watchdog stall reports, registered as the
     /// `watchdog_stalls` gauge (the telemetry incident detector
@@ -614,7 +624,7 @@ impl FutureTm {
     /// Like [`FutureTm::atomic`] but panics on explicit abort.
     pub fn atomic_infallible<T>(&self, body: impl FnMut(&mut TxCtx) -> TxResult<T>) -> T {
         // This IS the sanctioned panic-on-abort wrapper the lint points
-        // users at. wtf-lint: allow(unchecked-atomic)
+        // users at (the rule itself is off in runtime crates).
         self.atomic(body).expect("transaction aborted explicitly")
     }
 

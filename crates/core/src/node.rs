@@ -46,6 +46,9 @@ pub struct SubTxNode {
     pub kind: NodeKind,
     /// Set by a conflicting serialization (SO mode) or a cancelled
     /// top-level; the owning thread notices at its next operation.
+    // ordering: release-store dooms the node so the doom reason's side
+    // effects are visible to the owner; acquire-load at the owner's next
+    // operation pairs with it.
     pub doomed: AtomicBool,
     /// Read-set; locked because validators scan it concurrently.
     pub reads: Mutex<FxHashMap<BoxId, ReadEntry>>,

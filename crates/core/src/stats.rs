@@ -7,6 +7,7 @@ macro_rules! counters {
         /// Internal atomic counters (relaxed: statistics, not synchronization).
         #[derive(Default)]
         pub struct TmStats {
+            // ordering: relaxed-rmw, relaxed-load — statistics counters.
             $( $(#[$doc])* pub(crate) $name: AtomicU64, )+
         }
 

@@ -59,10 +59,18 @@ pub struct TopLevel {
     pub(crate) nodes: RwLock<Vec<Arc<SubTxNode>>>,
     /// Internal doom that cannot be contained to one segment: forces a
     /// whole-top-level restart.
+    // ordering: release-store dooms (or, on restart, re-arms) the
+    // incarnation; acquire-load at the next operation pairs with it so
+    // the doom reason's side effects are visible.
     doomed: AtomicBool,
     /// This incarnation was abandoned (retry or explicit abort).
+    // ordering: release-store on retry/abort; acquire-load observers
+    // pair with it before tearing the incarnation down.
     cancelled: AtomicBool,
     /// GAC: the top-level committed; no more serialize-at-submission.
+    // ordering: release-store at commit publishes the seal after the
+    // commit itself; acquire-load in the serialization checks pairs
+    // with it.
     sealed: AtomicBool,
     /// Effective ordering, sampled once at begin: the configured SO, or
     /// the contention manager's adaptive WO→SO flip. Settlement and
@@ -75,6 +83,11 @@ pub struct TopLevel {
     /// this incarnation (`u64::MAX` = none): the attribution
     /// `FutureTm::atomic` hands the contention manager on a full
     /// restart.
+    // ordering: relaxed-store, relaxed-load — written and read by the
+    // owning thread across an abort boundary; the abort path's unwinding
+    // already orders the pair. relaxed-guard: the attribution hint only
+    // biases the contention manager — a stale read picks a slightly
+    // wrong victim, never breaks safety.
     pub(crate) conflict_box: AtomicU64,
     /// Every future (transitively) spawned under this top-level.
     pub(crate) futures: Mutex<Vec<Arc<FutureCore>>>,

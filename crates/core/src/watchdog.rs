@@ -64,7 +64,13 @@ impl Default for WatchdogConfig {
 /// Handle to a running watchdog; stops (and joins) the thread on
 /// [`WatchdogHandle::stop`] or drop.
 pub struct WatchdogHandle {
+    // ordering: release-store signals shutdown; the poll loop's
+    // acquire-load pairs with it (the join in `stop` provides the final
+    // synchronization either way).
     stop: Arc<AtomicBool>,
+    // ordering: acqrel-rmw when a stall fires, so the report write-out
+    // happens-before a `times_fired` acquire-load that observes the
+    // count.
     fired: Arc<AtomicU64>,
     thread: Option<std::thread::JoinHandle<()>>,
 }

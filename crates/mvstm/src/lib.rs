@@ -88,21 +88,37 @@ pub(crate) struct StmInner {
     /// Published version clock: committed state has versions `0..=clock`,
     /// and all of them are fully installed. Only ever advanced by 1, in
     /// ticket order, by `raw::commit_raw`.
+    // ordering: seqcst-store publication joins the registry's single
+    // total order with the slot stores and the horizon scan (see
+    // `registry` module docs), whose republish loop also reads it
+    // seqcst-load; acquire-load everywhere else pairs with the
+    // publishing store so a snapshot implies a fully installed prefix.
     pub(crate) clock: AtomicU64,
     /// Version ticket dispenser: `fetch_add` here is the single global
     /// atomic on the commit path. A ticket may be ahead of `clock` while
     /// its commit is still installing.
+    // ordering: acqrel-rmw — the ticket fetch_add orders each reserved
+    // ticket after the validation that justified it and before the
+    // installs published under it.
     pub(crate) next_version: AtomicU64,
     /// Striped commit locks; shared with every `BoxBody` for safe chain
     /// walks (see `stripe`).
     pub(crate) stripes: Arc<StripeTable>,
     pub(crate) registry: ActiveRegistry,
     pub(crate) stats: StmStats,
+    // ordering: relaxed-rmw — a pure id dispenser; uniqueness is all
+    // that matters, nothing is published through it.
     pub(crate) next_box: AtomicU64,
     /// When false, version chains grow without bound (ablation knob).
+    // ordering: relaxed-store / relaxed-load — a configuration flag read
+    // once per commit. relaxed-guard: skipping or running GC on a stale
+    // value is always safe (pruning is governed by the registry horizon,
+    // not this flag).
     pub(crate) gc_enabled: AtomicBool,
     /// Total versions ever installed by commits (gauge bookkeeping; the
     /// live retained count is `versions_installed - versions_pruned`).
+    // ordering: relaxed-rmw, relaxed-load — a gauge, not
+    // synchronization.
     pub(crate) versions_installed: AtomicU64,
     /// Observability hooks (`wtf-trace`). Always present — a disabled
     /// tracer costs one relaxed load per hook — so the hot paths carry
@@ -113,6 +129,9 @@ pub(crate) struct StmInner {
     /// the `wtf-core` top-level loop — one shared policy instance per
     /// STM). Swappable so `FutureTm::builder().cm(..)` can install a
     /// policy after construction.
+    // lock-order: cm-slot — read at the top of the retry loop, before
+    // any stripe or registry lock is taken; writes happen only from
+    // setup code holding nothing.
     pub(crate) cm: parking_lot::RwLock<Arc<dyn wtf_cm::ContentionManager>>,
 }
 
@@ -303,7 +322,7 @@ impl Stm {
     /// the body never aborts.
     pub fn atomic_infallible<T>(&self, f: impl FnMut(&mut Txn) -> TxResult<T>) -> T {
         // This IS the sanctioned panic-on-abort wrapper the lint points
-        // users at. wtf-lint: allow(unchecked-atomic)
+        // users at (the rule itself is off in runtime crates).
         self.atomic(f).expect("transaction aborted explicitly")
     }
 
@@ -326,6 +345,9 @@ impl Stm {
 pub mod test_hooks {
     use std::sync::atomic::{AtomicBool, Ordering};
 
+    // ordering: seqcst-store / seqcst-load — a cold test knob; strongest
+    // ordering so the deliberately-broken branch is taken deterministically
+    // right after the toggle.
     static SKIP_VALIDATION: AtomicBool = AtomicBool::new(false);
 
     /// When set, `commit_attributed` skips read-set validation entirely —

@@ -15,8 +15,10 @@
 //! ## Why the lock-free registration/GC race is safe
 //!
 //! The danger is a GC horizon that *exceeds* a live snapshot: a committer
-//! would then free versions that snapshot can still read. All operations
-//! below use `SeqCst`, so there is a single total order `S` over them.
+//! would then free versions that snapshot can still read. Every operation
+//! in the registration/GC protocol uses `SeqCst` (the pure diagnostics
+//! accessors at the bottom are relaxed — they decide nothing), so there
+//! is a single total order `S` over them.
 //! Consider a registrant R and a committer C publishing version `v`
 //! (a `SeqCst` store of the clock in `commit_raw`):
 //!
@@ -56,6 +58,13 @@ pub(crate) const OVERFLOW_TOKEN: usize = usize::MAX;
 
 /// One registration slot, padded to a cache line so concurrent
 /// register/deregister traffic on neighbouring slots does not false-share.
+// ordering(Slot, slot, slots): seqcst-cas claims a free slot (the
+// failure side is relaxed-cas — a busy slot is just skipped);
+// seqcst-store republishes the chased clock and releases the slot;
+// seqcst-load in the GC scan joins the single total order with the
+// clock publication (module docs). relaxed-load only in the
+// `active_snapshots` diagnostic probe. relaxed-guard: that probe's
+// EMPTY filter gates reporting, never reclamation.
 #[repr(align(64))]
 struct Slot(AtomicU64);
 
@@ -66,6 +75,13 @@ struct ShardMeta {
     /// incremented *before* a slot is claimed and decremented *after* it
     /// is released, so `occupancy == 0` proves the shard is empty at some
     /// point during the scan and may be skipped.
+    // ordering: seqcst-rmw on claim/release and seqcst-load in the GC
+    // scan keep the increment-before-claim / decrement-after-release
+    // discipline inside the registry's single total order; relaxed-load
+    // only in the full-shard fast-path probe and the diagnostics
+    // accessors. relaxed-guard: those probes are capacity hints — a
+    // stale read sends registration to another shard or skews a gauge,
+    // never frees a version.
     occupancy: AtomicUsize,
 }
 
@@ -74,10 +90,16 @@ pub(crate) struct ActiveRegistry {
     shards: Box<[ShardMeta]>,
     /// Spill map: snapshot version -> registration count. Only touched
     /// when the slot array is full.
+    // lock-order: registry-overflow — a leaf lock: taken with stripe
+    // locks already held on the commit/GC path, never the other way.
     overflow: Mutex<BTreeMap<u64, usize>>,
     /// Upper bound on overflow registrations; lets the scan skip the
     /// mutex entirely in the common case. Same increment-before /
     /// decrement-after discipline as shard occupancy.
+    // ordering: seqcst-rmw register/deregister and seqcst-load in the GC
+    // scan (module docs); relaxed-load in the diagnostics accessors.
+    // relaxed-guard: the diagnostic nonzero checks only gate extra
+    // reporting work, never reclamation.
     overflow_count: AtomicUsize,
 }
 
@@ -88,6 +110,8 @@ thread_local! {
 }
 
 /// Round-robin seed so threads start probing different shards.
+// ordering: relaxed-rmw — a pure distribution hint; nothing is published
+// through it.
 static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
 
 impl ActiveRegistry {
@@ -260,22 +284,23 @@ impl ActiveRegistry {
     }
 
     /// Number of distinct active snapshot versions (diagnostics). Exact
-    /// only when no registrations are racing the call.
+    /// only when no registrations are racing the call; relaxed loads
+    /// suffice because nothing is decided from the answer.
     pub(crate) fn active_snapshots(&self) -> usize {
         let mut versions: Vec<u64> = Vec::new();
         for shard in 0..SHARDS {
-            if self.shards[shard].occupancy.load(Ordering::SeqCst) == 0 {
+            if self.shards[shard].occupancy.load(Ordering::Relaxed) == 0 {
                 continue;
             }
             let base = shard * SLOTS_PER_SHARD;
             for i in 0..SLOTS_PER_SHARD {
-                let v = self.slots[base + i].0.load(Ordering::SeqCst);
+                let v = self.slots[base + i].0.load(Ordering::Relaxed);
                 if v != EMPTY {
                     versions.push(v);
                 }
             }
         }
-        if self.overflow_count.load(Ordering::SeqCst) > 0 {
+        if self.overflow_count.load(Ordering::Relaxed) > 0 {
             versions.extend(self.overflow.lock().keys().copied());
         }
         versions.sort_unstable();
@@ -286,12 +311,13 @@ impl ActiveRegistry {
     /// Total occupied registration slots (shards plus overflow), i.e.
     /// how full the fixed-size registry is. Counter-based and O(shards),
     /// unlike the slot scan in [`ActiveRegistry::active_snapshots`].
+    /// Relaxed: a gauge read, racy by construction.
     pub(crate) fn occupancy(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.occupancy.load(Ordering::SeqCst))
+            .map(|s| s.occupancy.load(Ordering::Relaxed))
             .sum::<usize>()
-            + self.overflow_count.load(Ordering::SeqCst)
+            + self.overflow_count.load(Ordering::Relaxed)
     }
 }
 

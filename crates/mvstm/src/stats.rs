@@ -5,10 +5,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Internal atomic counters. Relaxed ordering throughout: these are
 /// statistics, not synchronization.
 pub struct StmStats {
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     pub(crate) commits: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     pub(crate) read_only_commits: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     pub(crate) aborts: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     pub(crate) versions_pruned: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     pub(crate) publish_waits: AtomicU64,
 }
 

@@ -21,6 +21,8 @@ pub const STRIPES: usize = 64;
 /// different stripes do not false-share.
 #[repr(align(64))]
 struct Stripe {
+    // lock-order: stripe — multi-acquisition only through `lock_mask`'s
+    // ascending bitmask walk, the single source of the stripe ordering.
     lock: Mutex<()>,
 }
 

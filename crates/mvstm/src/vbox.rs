@@ -39,6 +39,11 @@ pub(crate) struct VersionNode {
     pub(crate) value: Value,
     /// Next-older version; null at the chain's tail. Only ever mutated by
     /// `prune` (at the keep node, to detach the dead tail).
+    // ordering: acquire-load on traversal pairs with the installer's
+    // release head store (the node's fields were published before it
+    // became reachable); acqrel-swap detaches the dead tail under the
+    // stripe lock; relaxed-load only on nodes already private to the
+    // freeing thread (prune's detached tail, Drop's exclusive chain).
     next: AtomicPtr<VersionNode>,
 }
 
@@ -46,6 +51,12 @@ pub(crate) struct VersionNode {
 pub struct BoxBody {
     pub(crate) id: BoxId,
     /// Newest version; never null (boxes are born with one version).
+    // ordering: release-store in `install` publishes the new node and
+    // the chain behind it to acquire-load readers (`read_at`,
+    // `head_version`, `read_latest`, `chain_len`, `prune`); relaxed-load
+    // is permitted only in `install` itself, which re-reads its own head
+    // under the box's stripe lock. relaxed-guard: install's
+    // monotonicity debug_assert reads through that stripe-locked head.
     head: AtomicPtr<VersionNode>,
     /// The owning STM's stripe table: `chain_len` takes this box's stripe
     /// to walk safely against a concurrent committer's prune.
@@ -69,6 +80,8 @@ impl BoxBody {
     /// Newest committed version number. Lock-free: the head node is never
     /// freed while the box is alive.
     pub(crate) fn head_version(&self) -> u64 {
+        // SAFETY: `head` is never null, and the head node is never freed
+        // while the box is alive (module docs), so the deref is valid.
         unsafe { (*self.head.load(Ordering::Acquire)).version }
     }
 
@@ -82,6 +95,9 @@ impl BoxBody {
         let mut node = self.head.load(Ordering::Acquire);
         let mut oldest_seen = u64::MAX;
         while !node.is_null() {
+            // SAFETY: the caller's live registration keeps every node on
+            // this walk above the GC horizon (module docs), and the
+            // acquire loads of `head`/`next` ordered the node's fields.
             let n = unsafe { &*node };
             if n.version <= snapshot {
                 return (n.version, n.value.clone());
@@ -105,6 +121,8 @@ impl BoxBody {
     pub(crate) fn install(&self, version: u64, value: Value) {
         let old_head = self.head.load(Ordering::Relaxed);
         debug_assert!(
+            // SAFETY: `head` is never null and the head node is never
+            // freed while the box is alive (module docs).
             unsafe { (*old_head).version } < version,
             "versions must be monotonic"
         );
@@ -123,6 +141,9 @@ impl BoxBody {
     /// keep node), detaching and freeing the rest. Callers must hold this
     /// box's stripe lock. Returns the number of versions freed.
     pub(crate) fn prune(&self, min_active: u64) -> usize {
+        // SAFETY: callers hold this box's stripe lock, so we are the only
+        // mutator of `head`/`next`; the registry horizon invariant
+        // (module docs) keeps concurrent readers off every node we free.
         unsafe {
             // The stripe lock excludes other mutators, so plain loads of
             // our own pointers suffice; Acquire on traversal keeps us
@@ -158,6 +179,8 @@ impl BoxBody {
         let mut node = self.head.load(Ordering::Acquire);
         while !node.is_null() {
             len += 1;
+            // SAFETY: the stripe lock taken above excludes `prune`, so
+            // every node on the chain stays allocated for this walk.
             node = unsafe { (*node).next.load(Ordering::Acquire) };
         }
         len
@@ -169,6 +192,9 @@ impl Drop for BoxBody {
         // Exclusive access: free the whole chain.
         let mut node = *self.head.get_mut();
         while !node.is_null() {
+            // SAFETY: `&mut self` proves exclusive access; every chain
+            // node was created by `Box::into_raw` and is owned solely by
+            // this chain, so reclaiming each exactly once is sound.
             let boxed = unsafe { Box::from_raw(node) };
             node = boxed.next.load(Ordering::Relaxed);
         }
@@ -230,6 +256,8 @@ impl<T: TxValue> VBox<T> {
     /// registration is needed.
     pub fn read_latest(&self) -> T {
         let node = self.body.head.load(Ordering::Acquire);
+        // SAFETY: `head` is never null and the head node is never freed
+        // while the box is alive (module docs).
         let value = unsafe { (*node).value.clone() };
         downcast_value(&value)
     }

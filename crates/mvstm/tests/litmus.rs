@@ -1,0 +1,116 @@
+//! Litmus tests for `wtf-mvstm`'s published ordering contracts — the
+//! dynamic counterpart of `wtf-audit`'s static checks. Each test is
+//! named after the inventory entry (`results/audit_inventory.json`)
+//! whose protocol it drives, and runs under Miri and TSan in CI; the
+//! iteration counts scale down under Miri so the interpreted runs stay
+//! in budget while still interleaving.
+
+use std::sync::Arc;
+use wtf_mvstm::{Stm, VBox};
+
+const ROUNDS: u64 = if cfg!(miri) { 40 } else { 20_000 };
+
+/// MP shape over `head` + `clock`: `install`'s release head-store (and
+/// the SeqCst clock republish behind it) must pair with the reader's
+/// acquire traversal, so a transaction that observes `flag == i` also
+/// observes `data == i` — the two are written in one commit.
+#[test]
+fn mp_head_release_install_pairs_with_acquire_read() {
+    let stm = Arc::new(Stm::new());
+    let data = Arc::new(VBox::new(&stm, 0u64));
+    let flag = Arc::new(VBox::new(&stm, 0u64));
+
+    let writer = {
+        let (stm, data, flag) = (Arc::clone(&stm), Arc::clone(&data), Arc::clone(&flag));
+        std::thread::spawn(move || {
+            for i in 1..=ROUNDS {
+                stm.atomic(|tx| {
+                    tx.write(&data, i)?;
+                    tx.write(&flag, i)
+                })
+                .unwrap();
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (stm, data, flag) = (Arc::clone(&stm), Arc::clone(&data), Arc::clone(&flag));
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while last < ROUNDS {
+                    let (f, d) = stm
+                        .atomic(|tx| {
+                            let f = tx.read(&flag)?;
+                            let d = tx.read(&data)?;
+                            Ok((f, d))
+                        })
+                        .unwrap();
+                    assert_eq!(f, d, "flag and data are committed together");
+                    assert!(f >= last, "clock publication is monotonic");
+                    last = f;
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+/// SB shape over `Slot` + `clock`: a reader claims a registry slot
+/// (SeqCst CAS + republish) while the writer advances the clock and GC
+/// prunes behind the minimum registered snapshot. If the republish
+/// protocol were weaker, GC could prune a version a just-registered
+/// snapshot is entitled to read — observable as a torn or backwards
+/// double-read inside one transaction.
+#[test]
+fn sb_registry_slot_claim_vs_clock_republish() {
+    let stm = Arc::new(Stm::new());
+    stm.set_gc_enabled(true);
+    let counter = Arc::new(VBox::new(&stm, 0u64));
+
+    let writer = {
+        let (stm, counter) = (Arc::clone(&stm), Arc::clone(&counter));
+        std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                stm.atomic(|tx| {
+                    let v = tx.read(&counter)?;
+                    tx.write(&counter, v + 1)
+                })
+                .unwrap();
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (stm, counter) = (Arc::clone(&stm), Arc::clone(&counter));
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let (a, b) = stm
+                        .atomic(|tx| {
+                            let a = tx.read(&counter)?;
+                            let b = tx.read(&counter)?;
+                            Ok((a, b))
+                        })
+                        .unwrap();
+                    assert_eq!(a, b, "double-read within one snapshot is stable");
+                    assert!(a >= last, "snapshots never travel backwards");
+                    last = a;
+                    if a >= ROUNDS {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}

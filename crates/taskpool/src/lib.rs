@@ -41,13 +41,24 @@ struct PoolInner {
     queue: Mutex<VecDeque<QueuedTask>>,
     /// Notified when a task is pushed or shutdown begins.
     available: Event,
+    // ordering: release-store begins shutdown; the worker loop's
+    // acquire-load pairs with it so a worker that observes the flag also
+    // observes everything enqueued before it. (Downgraded from SeqCst:
+    // shutdown is one-way and never ordered against another atomic.)
+    // relaxed-load only in `execute`'s misuse assertion. relaxed-guard:
+    // that assertion is a best-effort guard against submitting to a pool
+    // already shut down — a racing submit loses either way.
     shutdown: AtomicBool,
     /// Number of workers currently executing a task (diagnostics).
+    // ordering: relaxed-rmw, relaxed-load — a diagnostics gauge.
     busy: AtomicUsize,
     /// Cumulative tasks finished across all workers, exposed as the
     /// `pool_tasks_executed` gauge (telemetry differences it per epoch).
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     executed: AtomicU64,
     /// Monotonic task-id source for enqueue/dequeue causal pairs.
+    // ordering: relaxed-rmw — ids only need uniqueness; the queue mutex
+    // orders the enqueue itself.
     next_task: AtomicU64,
     /// Observability: workers emit busy/idle spans into this tracer.
     tracer: Arc<Tracer>,
@@ -192,7 +203,7 @@ impl TaskPool {
     /// Must be called from a clock thread before the enclosing
     /// [`Clock::enter`] returns.
     pub fn shutdown(mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.shutdown.store(true, Ordering::Release);
         self.inner.clock.notify_all(&self.inner.available);
         for h in self.workers.drain(..) {
             h.join();
@@ -264,13 +275,13 @@ fn worker_loop(inner: &PoolInner, index: usize) {
                 inner.busy.fetch_sub(1, Ordering::Relaxed);
             }
             None => {
-                if inner.shutdown.load(Ordering::SeqCst) {
+                if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 let inner2 = inner;
                 let start = inner.tracer.span_start();
                 inner.clock.wait_until(&inner.available, || {
-                    inner2.shutdown.load(Ordering::SeqCst) || !inner2.queue.lock().is_empty()
+                    inner2.shutdown.load(Ordering::Acquire) || !inner2.queue.lock().is_empty()
                 });
                 inner
                     .tracer

@@ -17,6 +17,10 @@ use std::time::Duration;
 
 /// The serving thread's handle. Dropping it stops the thread.
 pub struct MetricsServer {
+    // ordering: relaxed-store / relaxed-load — pure quit flag; the join
+    // in `shutdown` provides the real synchronization. relaxed-guard:
+    // the serve loop only polls whether to exit, no data rides on the
+    // flag.
     stop: Arc<AtomicBool>,
     body: Arc<Mutex<String>>,
     addr: SocketAddr,

@@ -333,6 +333,10 @@ pub struct TelemetryHub {
     workload: String,
     /// Fast-path gate: the next epoch boundary. Ticks below it return
     /// after one relaxed load + compare.
+    // ordering: relaxed-store / relaxed-load — the state mutex orders
+    // the real epoch bookkeeping; this is only the cheap gate in front
+    // of it. relaxed-guard: a stale boundary read delays the epoch close
+    // to the next tick, which re-checks under the lock.
     next_epoch_end: AtomicU64,
     state: Mutex<HubState>,
     #[cfg(feature = "http")]

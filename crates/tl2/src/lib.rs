@@ -102,7 +102,14 @@ pub fn stripe_index(id: BoxId) -> usize {
 /// validate/write-back window, and by slow-path readers to wait one out)
 /// plus the versioned lock word for the readers' fast path.
 struct Stripe {
+    // lock-order: tl2-stripe — multi-acquisition only through
+    // `lock_mask`'s ascending bitmask walk; taken before `tl2-slot`.
     lock: Mutex<()>,
+    // ordering: the committer's acqrel-rmw fetch_or sets the lock bit
+    // before write-back and the release-store publishes the new version
+    // after it; both pair with the fast-path reader's acquire-load
+    // bracket around its slot read. relaxed-load only in the
+    // `tl2_locked_stripes` gauge probe.
     word: AtomicU64,
 }
 
@@ -146,6 +153,9 @@ struct Slot {
 pub struct Tl2Box {
     id: BoxId,
     stripes: Arc<StripeTable>,
+    // lock-order: tl2-slot — leaf lock; acquired with the box's stripe
+    // mutex held (commit validation/write-back, slow-path reads) or with
+    // nothing held (fast-path reads), never the other way round.
     slot: Mutex<Slot>,
 }
 
@@ -208,15 +218,25 @@ struct Tl2Inner {
     /// The global version clock: committed state has versions
     /// `0..=clock`, every one of them fully written back (write stripes
     /// stay locked until the write-back completes).
+    // ordering: acqrel-rmw — the per-commit bump happens with every
+    // written stripe locked, so the new version is fully written back
+    // before any reader can observe it; acquire-load snapshot reads pair
+    // with the bump.
     clock: AtomicU64,
     stripes: Arc<StripeTable>,
+    // ordering: relaxed-rmw — a pure id dispenser.
     next_box: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     commits: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     read_only_commits: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     aborts: AtomicU64,
     tracer: Arc<Tracer>,
     /// Contention manager consulted by the generic `wtf_backend::atomic`
     /// retry loop (and `wtf-core`'s top-level loop) for this instance.
+    // lock-order: tl2-cm-slot — read before any stripe or slot lock is
+    // taken; written only from setup code holding nothing.
     cm: parking_lot::RwLock<Arc<dyn wtf_cm::ContentionManager>>,
 }
 

@@ -1,0 +1,61 @@
+//! Litmus tests for `wtf-tl2`'s versioned lock words — the dynamic
+//! counterpart of `wtf-audit`'s static checks, named after the
+//! inventory entry (`results/audit_inventory.json`) whose protocol they
+//! drive. Run under Miri and TSan in CI; iteration counts scale down
+//! under Miri.
+
+use std::sync::Arc;
+use wtf_backend::{atomic, StmBackend, TBox};
+use wtf_tl2::Tl2Stm;
+
+const ROUNDS: u64 = if cfg!(miri) { 30 } else { 10_000 };
+
+/// MP shape over `word`: the committer's acqrel `fetch_or` sets the lock
+/// bit before write-back and the release store publishes the bumped
+/// version after it; the fast-path reader's acquire-load bracket must
+/// therefore never observe `flag == i` without `data == i`.
+#[test]
+fn word_lock_bit_and_version_bracket_reads() {
+    let stm = Arc::new(Tl2Stm::new());
+    let data = Arc::new(TBox::new_on(&*stm, 0u64));
+    let flag = Arc::new(TBox::new_on(&*stm, 0u64));
+
+    let writer = {
+        let (stm, data, flag) = (Arc::clone(&stm), Arc::clone(&data), Arc::clone(&flag));
+        std::thread::spawn(move || {
+            for i in 1..=ROUNDS {
+                atomic(&*stm, |tx| {
+                    tx.write(&data, i)?;
+                    tx.write(&flag, i)
+                })
+                .unwrap();
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let (stm, data, flag) = (Arc::clone(&stm), Arc::clone(&data), Arc::clone(&flag));
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while last < ROUNDS {
+                    let (f, d) = atomic(&*stm, |tx| {
+                        let f = tx.read(&flag)?;
+                        let d = tx.read(&data)?;
+                        Ok((f, d))
+                    })
+                    .unwrap();
+                    assert_eq!(f, d, "flag and data are committed together");
+                    assert!(f >= last, "version clock is monotonic");
+                    last = f;
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(stm.clock() >= ROUNDS, "every commit bumped the clock");
+}

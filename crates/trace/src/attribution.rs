@@ -18,6 +18,8 @@ pub const STRIPES: usize = 64;
 
 /// Aggregated conflict counters, keyed by box id and stripe.
 pub struct ConflictMap {
+    // ordering(stripes, s): relaxed-rmw, relaxed-load — statistics
+    // counters; the export runs after workers quiesce.
     stripes: [AtomicU64; STRIPES],
     /// BTreeMap so iteration (and thus export) order is deterministic.
     boxes: Mutex<BTreeMap<u64, u64>>,

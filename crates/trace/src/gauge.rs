@@ -29,6 +29,8 @@ use std::sync::Arc;
 
 /// A registered push-style gauge: the owner stores samples into it with
 /// plain atomic ops; the registry reads it when sampling.
+// ordering: relaxed-store, relaxed-rmw, relaxed-load — a gauge cell;
+// samplers tolerate arbitrary staleness.
 #[derive(Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
 
@@ -102,13 +104,23 @@ pub struct GaugeRegistry {
     /// default; [`GaugeRegistry::set_period`] turns it on. Kept separate
     /// from `period` so that a period of 0 can mean "sample on every
     /// hook" instead of being overloaded as the disabled sentinel.
+    // ordering: relaxed-store / relaxed-load — a configuration flag.
+    // relaxed-guard: sampling a hook late or early around a toggle is
+    // harmless; the samples mutex orders the actual recording.
     periodic: AtomicBool,
     /// Minimum clock distance between periodic samples. 0 means every
     /// hook samples; `u64::MAX` means the first due hook samples once
     /// and the saturated next-due point never arrives again.
+    // ordering: relaxed-store / relaxed-load — configuration, read once
+    // per hook. relaxed-guard: a stale period only shifts the sampling
+    // rate for the hooks that race the reconfiguration.
     period: AtomicU64,
     /// Next timestamp at which `maybe_record` fires. Claimed by CAS so
     /// exactly one caller records per due window.
+    // ordering: relaxed-load probe plus relaxed-cas claim — the CAS
+    // only elects a sampler; the sample row itself is published by the
+    // `samples` mutex. relaxed-guard: losing the claim race just skips
+    // one redundant sample.
     next_due: AtomicU64,
 }
 

@@ -20,11 +20,17 @@ pub const BUCKETS: usize = 65;
 
 /// Shared atomic histogram; record from any thread, snapshot any time.
 pub struct Histogram {
+    // ordering: relaxed-rmw, relaxed-load — statistics (module docs).
     buckets: [AtomicU64; BUCKETS],
+    // ordering: relaxed-rmw, relaxed-load — statistics. relaxed-guard:
+    // the snapshot's emptiness check only normalizes the reported min.
     count: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — statistics.
     sum: AtomicU64,
     /// Tracked as `u64::MAX` while empty; snapshots normalize to 0.
+    // ordering: relaxed-rmw, relaxed-load — statistics.
     min: AtomicU64,
+    // ordering: relaxed-rmw, relaxed-load — statistics.
     max: AtomicU64,
 }
 

@@ -116,6 +116,7 @@ pub struct Metrics {
     pub queue_delay: Histogram,
 }
 
+// ordering: relaxed-rmw — a pure id dispenser for the lane cache keys.
 static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -140,6 +141,9 @@ fn wall_ns() -> u64 {
 /// and allocates no lanes.
 pub struct Tracer {
     id: u64,
+    // ordering: relaxed-store / relaxed-load — the recording level is a
+    // configuration knob; hooks that race a level change may record or
+    // skip one event, which perturbs nothing.
     level: AtomicU8,
     lane_capacity: usize,
     lanes: Mutex<Vec<Arc<Lane>>>,
@@ -152,6 +156,10 @@ pub struct Tracer {
     pub gauges: GaugeRegistry,
     /// Whether a telemetry tick hook is installed — a single relaxed
     /// load keeps the disabled path flat.
+    // ordering: relaxed-store / relaxed-load — the hook itself lives in
+    // a `OnceLock`, which does the publication; this flag is only the
+    // cheap fast-path filter. relaxed-guard: a hook racing arming can
+    // miss at most the ticks before the OnceLock write is visible.
     tick_armed: std::sync::atomic::AtomicBool,
     /// The telemetry tick hook: called with the current timestamp from
     /// [`Tracer::maybe_sample_gauges`] (i.e. from the runtime's

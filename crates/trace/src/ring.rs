@@ -28,14 +28,23 @@ pub struct Lane {
     slots: Box<[UnsafeCell<TraceEvent>]>,
     /// Number of initialized slots. Written with `Release` by the owner
     /// thread only; read with `Acquire` by harvesters.
+    // ordering: release-store publishes the just-written slot to
+    // acquire-load harvesters; relaxed-load only by the owning writer
+    // re-reading its own tail. relaxed-guard: the writer's capacity
+    // check reads a counter only it ever advances.
     len: AtomicUsize,
     /// Events discarded because the lane was full.
+    // ordering: relaxed-rmw, relaxed-load — a statistics counter.
     dropped: AtomicU64,
 }
 
-// Readers only access slots below the acquired `len`, and those slots
-// are never rewritten after publication.
+// SAFETY: readers only access slots below the acquired `len`, and those
+// slots are never rewritten after publication (single-writer append-only
+// discipline documented on `push`).
 unsafe impl Sync for Lane {}
+// SAFETY: `TraceEvent` is plain `Copy` data; ownership of the lane moves
+// freely between threads as long as `push` stays single-threaded, which
+// the per-thread lane handout guarantees.
 unsafe impl Send for Lane {}
 
 impl Lane {

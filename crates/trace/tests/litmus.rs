@@ -1,0 +1,49 @@
+//! Litmus test for the SPSC trace-lane ring — the dynamic counterpart
+//! of `wtf-audit`'s static checks, named after the inventory entry
+//! (`results/audit_inventory.json`) whose protocol it drives. Runs
+//! under Miri and TSan in CI; the iteration count scales down under
+//! Miri.
+
+use std::sync::Arc;
+use wtf_trace::{EventKind, Lane, TraceEvent};
+
+const EVENTS: u64 = if cfg!(miri) { 200 } else { 50_000 };
+
+/// MP shape over `len`: the owner's plain slot write followed by the
+/// release `len` bump must pair with the harvester's acquire load, so
+/// every concurrently harvested prefix is fully initialized and in
+/// order — never a torn or reordered slot.
+#[test]
+fn len_release_store_publishes_slots_to_acquire_harvest() {
+    let lane = Arc::new(Lane::new(0, EVENTS as usize));
+    let writer = {
+        let lane = Arc::clone(&lane);
+        std::thread::spawn(move || {
+            for i in 0..EVENTS {
+                lane.push(TraceEvent {
+                    ts: i,
+                    kind: EventKind::StmInstall,
+                    a: i,
+                    b: i.wrapping_mul(3),
+                });
+            }
+        })
+    };
+    let harvester = {
+        let lane = Arc::clone(&lane);
+        std::thread::spawn(move || loop {
+            let evs = lane.events();
+            for (i, ev) in evs.iter().enumerate() {
+                assert_eq!(ev.ts, i as u64, "published prefix is in order");
+                assert_eq!(ev.b, ev.a.wrapping_mul(3), "slots are never torn");
+            }
+            if evs.len() as u64 == EVENTS {
+                break;
+            }
+        })
+    };
+    writer.join().unwrap();
+    harvester.join().unwrap();
+    assert_eq!(lane.len() as u64, EVENTS);
+    assert_eq!(lane.dropped(), 0);
+}

@@ -6,6 +6,8 @@ use std::time::Instant;
 pub(crate) struct RealClock {
     origin: Instant,
     spin: bool,
+    // ordering: relaxed-rmw — monotonic thread-id source; ids only need
+    // uniqueness, nothing is published through the counter.
     next_tid: AtomicUsize,
 }
 
